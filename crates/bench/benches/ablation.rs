@@ -1,0 +1,98 @@
+//! Criterion bench: ablations of GRETEL's design choices (DESIGN.md §5).
+//!
+//! Compares detection cost across the matching policies:
+//! * default (earliest-complete, analytic),
+//! * presence + θ-drop stop (the paper's literal rule),
+//! * presence + full-window growth,
+//! * strict matching (starred atoms required),
+//! * no truncation,
+//! * no RPC pruning.
+//!
+//! Quality differences between these policies are measured by the fig7*
+//! binaries; this bench tracks their *cost*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gretel_bench::Workbench;
+use gretel_core::{Detector, Event, FaultMark, GretelConfig};
+use gretel_model::{ApiId, Direction, MessageId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synth_events(wb: &Workbench, n: usize, offending: ApiId) -> (Vec<Event>, usize) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let pool: Vec<ApiId> = wb.suite.pools(gretel_model::Category::Compute).rest.clone();
+    let cat = &wb.catalog;
+    let mut events: Vec<Event> = (0..n)
+        .map(|i| {
+            let api = pool[rng.gen_range(0..pool.len())];
+            let def = cat.get(api);
+            Event {
+                id: MessageId(i as u64),
+                ts: i as u64 * 20,
+                api,
+                direction: Direction::Request,
+                is_rpc: def.is_rpc(),
+                state_change: def.is_state_change(),
+                noise_api: false,
+                src_node: NodeId(0),
+                dst_node: NodeId(1),
+                corr: None,
+                fault: FaultMark::None,
+            }
+        })
+        .collect();
+    let center = n / 2;
+    events[center].api = offending;
+    events[center].fault = FaultMark::RestError(500);
+    (events, center)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let wb = Workbench::new(42);
+    let offending = wb.catalog.rest_expect(
+        gretel_model::Service::Neutron,
+        gretel_model::HttpMethod::Post,
+        "/v2.0/ports.json",
+    );
+    let n = 4096usize;
+    let (events, center) = synth_events(&wb, n, offending);
+
+    let variants: Vec<(&str, GretelConfig)> = vec![
+        ("default_earliest_complete", GretelConfig { alpha: n, ..GretelConfig::default() }),
+        (
+            "paper_theta_drop_stop",
+            GretelConfig { alpha: n, scored_slack: None, ..GretelConfig::default() },
+        ),
+        (
+            "presence_full_window",
+            GretelConfig {
+                alpha: n,
+                scored_slack: None,
+                grow_full: true,
+                ..GretelConfig::default()
+            },
+        ),
+        (
+            "strict_matching",
+            GretelConfig { alpha: n, relaxed: false, scored_slack: None, ..GretelConfig::default() },
+        ),
+        ("no_truncation", GretelConfig { alpha: n, truncate: false, ..GretelConfig::default() }),
+        ("no_rpc_pruning", GretelConfig { alpha: n, prune_rpcs: false, ..GretelConfig::default() }),
+    ];
+
+    let mut group = c.benchmark_group("matching_policy_ablation");
+    for (name, cfg) in variants {
+        let detector = Detector::new(&wb.library, cfg);
+        group.bench_function(name, |b| {
+            b.iter(|| detector.detect_operational(&events, center, offending))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablation
+}
+criterion_main!(benches);

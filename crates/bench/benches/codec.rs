@@ -1,0 +1,45 @@
+//! Criterion bench: frame codec encode/decode.
+//!
+//! The agents encode every captured message and the receiver decodes it;
+//! this bounds the monitoring network's sustainable line rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gretel_bench::Workbench;
+use gretel_model::Message;
+use gretel_netcap::{decode_one, encode};
+use gretel_sim::{StreamConfig, SyntheticStream};
+
+fn bench_codec(c: &mut Criterion) {
+    let wb = Workbench::new(42);
+    let specs: Vec<_> = wb.suite.specs().iter().step_by(29).cloned().collect();
+    let msgs: Vec<Message> = SyntheticStream::new(
+        wb.catalog.clone(),
+        &specs,
+        StreamConfig { total_messages: 4_096, ..StreamConfig::default() },
+    )
+    .collect();
+    let frames: Vec<_> = msgs.iter().map(encode).collect();
+    let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+
+    let mut group = c.benchmark_group("frame_codec");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("encode", |b| {
+        b.iter(|| msgs.iter().map(encode).map(|f| f.len()).sum::<usize>())
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .map(|f| decode_one(f).expect("valid frame").ts_us)
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_codec
+}
+criterion_main!(benches);

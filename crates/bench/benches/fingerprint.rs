@@ -1,0 +1,55 @@
+//! Criterion bench: Algorithm 1 fingerprint generation.
+//!
+//! Cost of noise filtering + iterated LCS as trace length and trace count
+//! grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gretel_core::generate_fingerprint;
+use gretel_model::{ApiId, Catalog, OpSpecId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn traces(catalog: &Catalog, len: usize, count: usize, seed: u64) -> Vec<Vec<ApiId>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<ApiId> = (0..len)
+        .map(|_| ApiId(rng.gen_range(0..catalog.len() as u16)))
+        .collect();
+    (0..count)
+        .map(|_| {
+            // Each run: the base plus ~10% transient insertions.
+            let mut t = Vec::with_capacity(len + len / 10);
+            for &api in &base {
+                t.push(api);
+                if rng.gen_bool(0.1) {
+                    t.push(ApiId(rng.gen_range(0..catalog.len() as u16)));
+                }
+            }
+            t
+        })
+        .collect()
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let catalog = Catalog::openstack();
+    let mut group = c.benchmark_group("fingerprint_generation");
+    for len in [50usize, 150, 400] {
+        let t = traces(&catalog, len, 3, 5);
+        group.bench_with_input(BenchmarkId::new("trace_len", len), &len, |b, _| {
+            b.iter(|| generate_fingerprint(&catalog, OpSpecId(0), &t))
+        });
+    }
+    for count in [2usize, 5, 10] {
+        let t = traces(&catalog, 150, count, 9);
+        group.bench_with_input(BenchmarkId::new("trace_count", count), &count, |b, _| {
+            b.iter(|| generate_fingerprint(&catalog, OpSpecId(0), &t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fingerprint
+}
+criterion_main!(benches);

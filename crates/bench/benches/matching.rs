@@ -1,0 +1,66 @@
+//! Criterion bench: operation detection cost (Algorithm 2).
+//!
+//! Measures one full detection (candidates → truncation → context-buffer
+//! matching) as a function of snapshot size, against the full
+//! 1200-fingerprint library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gretel_bench::Workbench;
+use gretel_core::{Detector, Event, FaultMark, GretelConfig};
+use gretel_model::{ApiId, Direction, MessageId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synth_events(wb: &Workbench, n: usize, offending: ApiId) -> (Vec<Event>, usize) {
+    // Random mix of suite APIs with the offending API at the centre.
+    let mut rng = StdRng::seed_from_u64(7);
+    let pool: Vec<ApiId> = wb.suite.pools(gretel_model::Category::Compute).rest.clone();
+    let cat = &wb.catalog;
+    let mut events: Vec<Event> = (0..n)
+        .map(|i| {
+            let api = pool[rng.gen_range(0..pool.len())];
+            let def = cat.get(api);
+            Event {
+                id: MessageId(i as u64),
+                ts: i as u64 * 20,
+                api,
+                direction: Direction::Request,
+                is_rpc: def.is_rpc(),
+                state_change: def.is_state_change(),
+                noise_api: false,
+                src_node: NodeId(0),
+                dst_node: NodeId(1),
+                corr: None,
+                fault: FaultMark::None,
+            }
+        })
+        .collect();
+    let center = n / 2;
+    events[center].api = offending;
+    events[center].fault = FaultMark::RestError(500);
+    (events, center)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let wb = Workbench::new(42);
+    let offending = wb
+        .catalog
+        .rest_expect(gretel_model::Service::Neutron, gretel_model::HttpMethod::Post, "/v2.0/ports.json");
+    let mut group = c.benchmark_group("operation_detection");
+    for n in [768usize, 4096, 16384, 65536] {
+        let (events, center) = synth_events(&wb, n, offending);
+        let cfg = GretelConfig { alpha: n, ..GretelConfig::default() };
+        let detector = Detector::new(&wb.library, cfg);
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &n, |b, _| {
+            b.iter(|| detector.detect_operational(&events, center, offending))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: level-shift detector per-sample cost.
+//!
+//! The detector sits on the analyzer's per-message path (one update per
+//! completed request/response pair), so its per-sample cost must stay in
+//! the tens of nanoseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gretel_telemetry::{LevelShiftConfig, LevelShiftDetector, OutlierDetector};
+
+fn bench_outlier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level_shift");
+    let n = 10_000u64;
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("stationary_series", |b| {
+        b.iter(|| {
+            let mut det = LevelShiftDetector::new(LevelShiftConfig::default());
+            let mut alarms = 0usize;
+            for i in 0..n {
+                if det.update(i, 25.0 + (i % 7) as f64).is_some() {
+                    alarms += 1;
+                }
+            }
+            alarms
+        })
+    });
+    group.bench_function("shifting_series", |b| {
+        b.iter(|| {
+            let mut det = LevelShiftDetector::new(LevelShiftConfig::default());
+            let mut alarms = 0usize;
+            for i in 0..n {
+                let level = if (i / 500) % 2 == 0 { 25.0 } else { 125.0 };
+                if det.update(i, level + (i % 7) as f64).is_some() {
+                    alarms += 1;
+                }
+            }
+            alarms
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_outlier
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: the Fig 8c hot loop.
+//!
+//! Measures the analyzer's per-message cost on a synthetic 64-way
+//! interleaved stream at two fault frequencies, plus HANSEL's per-message
+//! stitching cost on the same stream.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gretel_bench::Workbench;
+use gretel_core::{Analyzer, GretelConfig};
+use gretel_hansel::{Hansel, HanselConfig};
+use gretel_model::Message;
+use gretel_sim::{StreamConfig, SyntheticStream};
+
+fn stream(wb: &Workbench, fault_every: usize, n: usize) -> Vec<Message> {
+    let specs: Vec<_> = wb.suite.specs().iter().step_by(13).cloned().collect();
+    let cfg = StreamConfig { total_messages: n, fault_every, pps: 50_000, concurrent_ops: 64 };
+    SyntheticStream::new(wb.catalog.clone(), &specs, cfg).collect()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let wb = Workbench::new(42);
+    let mut group = c.benchmark_group("analyzer_throughput");
+    for fault_every in [100usize, 2000] {
+        let msgs = stream(&wb, fault_every, 20_000);
+        group.throughput(Throughput::Elements(msgs.len() as u64));
+        group.bench_function(format!("gretel_1_in_{fault_every}"), |b| {
+            b.iter_batched(
+                || Analyzer::new(&wb.library, GretelConfig::auto(wb.library.fp_max(), 50_000.0, 1.0)),
+                |mut analyzer| {
+                    let mut n = 0usize;
+                    for m in &msgs {
+                        n += analyzer.process(m).len();
+                    }
+                    n + analyzer.finish().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("hansel_1_in_{fault_every}"), |b| {
+            b.iter_batched(
+                || Hansel::new(HanselConfig::default()),
+                |mut hansel| {
+                    let mut n = 0usize;
+                    for m in &msgs {
+                        n += hansel.process(m).len();
+                    }
+                    n + hansel.finish().len()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Capture-loss robustness (paper Limitation 1, quantified).
+//!
+//! The paper notes GRETEL's accuracy "is contingent upon the message
+//! context available in the sliding window" — a partial snapshot may miss.
+//! This experiment quantifies graceful degradation: the monitoring path
+//! drops a fraction of captured messages (errors kept, so the fault is
+//! still seen) and we measure precision θ, matched-set size and recall as
+//! loss rises from 0 to 50 %.
+//!
+//! Usage: `cargo run --release -p gretel-bench --bin loss_ablation [--seed N]`
+
+use gretel_bench::workload::{build_fault_plan, diagnosis_for, faulty_pool};
+use gretel_bench::{arg, results, Workbench};
+use gretel_core::{analyze_stream, Analyzer, GretelConfig};
+use gretel_model::OperationSpec;
+use gretel_netcap::{degrade, Degradation};
+use gretel_sim::{secs, RunConfig, Runner};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    drop_prob: f64,
+    theta: f64,
+    matched: f64,
+    recall: f64,
+    diagnosed: f64,
+}
+
+fn main() {
+    let seed: u64 = arg("--seed", 42);
+    let concurrent: usize = arg("--concurrent", 100);
+    let faults: usize = arg("--faults", 8);
+    let wb = Workbench::new(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10C0);
+
+    // One workload, analyzed under increasing capture loss.
+    let pool = faulty_pool(&wb);
+    let mut specs: Vec<&OperationSpec> = Vec::new();
+    for _ in 0..faults + concurrent {
+        specs.push(pool[rng.gen_range(0..pool.len())]);
+    }
+    let (plan, truth) = build_fault_plan(&wb, &specs[..faults], &mut rng, None);
+    let exec = Runner::new(
+        wb.catalog.clone(),
+        &wb.deployment,
+        &plan,
+        RunConfig { seed, start_window: secs(20), ..RunConfig::default() },
+    )
+    .run(&specs);
+    let p_rate = exec.messages.len() as f64 / (exec.duration.max(1) as f64 / 1e6);
+
+    let mut rows = Vec::new();
+    for &drop_prob in &[0.0f64, 0.05, 0.1, 0.2, 0.35, 0.5] {
+        let observed = degrade(
+            &exec.messages,
+            Degradation { drop_prob, seed: seed ^ 0xD207 },
+            true,
+        );
+        let cfg = GretelConfig::auto(wb.library.fp_max(), p_rate * (1.0 - drop_prob), 2.0);
+        let mut analyzer = Analyzer::new(&wb.library, cfg);
+        let diagnoses = analyze_stream(&mut analyzer, observed.iter());
+
+        let mut hit = 0usize;
+        let mut diagnosed = 0usize;
+        let mut n_sum = 0usize;
+        let mut theta_sum = 0.0;
+        for fault in &truth {
+            if let Some(d) = diagnosis_for(&diagnoses, &observed, fault) {
+                diagnosed += 1;
+                n_sum += d.matched.len();
+                theta_sum += gretel_core::theta(d.matched.len(), wb.library.len());
+                if d.matched.contains(&fault.spec) {
+                    hit += 1;
+                }
+            }
+        }
+        let k = diagnosed.max(1) as f64;
+        rows.push(Row {
+            drop_prob,
+            theta: theta_sum / k,
+            matched: n_sum as f64 / k,
+            recall: hit as f64 / truth.len() as f64,
+            diagnosed: diagnosed as f64 / truth.len() as f64,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", 100.0 * r.drop_prob),
+                format!("{:.2}%", 100.0 * r.theta),
+                format!("{:.1}", r.matched),
+                format!("{:.2}", r.recall),
+                format!("{:.2}", r.diagnosed),
+            ]
+        })
+        .collect();
+    results::print_table(
+        "Capture-loss robustness (errors kept; context dropped)",
+        &["loss", "theta", "matched", "recall", "diagnosed"],
+        &table,
+    );
+    results::write_json("loss_ablation", &rows);
+}

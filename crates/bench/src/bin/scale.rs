@@ -1,0 +1,180 @@
+//! Scaling study: detection cost and precision vs. fingerprint-library
+//! size and deployment size.
+//!
+//! The paper argues fingerprints are "independent of the scale of the
+//! deployment" (§7.1) and that matching hundreds of regexes is what the §6
+//! optimizations target. This binary measures both axes:
+//!
+//! * library size 100 → 1200 fingerprints: per-fault detection wall time
+//!   and precision on the same workload;
+//! * deployment size 3 → 100 compute nodes: end-to-end precision on a
+//!   fixed workload (should be flat — fingerprints don't mention nodes).
+//!
+//! Usage: `cargo run --release -p gretel-bench --bin scale [--seed N]`
+
+use gretel_bench::precision::{run, PrecisionParams};
+use gretel_bench::{arg, results, Workbench};
+use gretel_core::{Detector, Event, FaultMark, FingerprintLibrary, GretelConfig};
+use gretel_model::{ApiId, Direction, MessageId, NodeId, OpSpecId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct LibraryRow {
+    fingerprints: usize,
+    detect_us: f64,
+    matched: usize,
+}
+
+#[derive(Serialize)]
+struct DeployRow {
+    compute_nodes: usize,
+    theta: f64,
+    recall: f64,
+}
+
+fn synth_events(wb: &Workbench, n: usize, offending: ApiId, seed: u64) -> (Vec<Event>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pool = &wb.suite.pools(gretel_model::Category::Compute).rest;
+    let cat = &wb.catalog;
+    let mut events: Vec<Event> = (0..n)
+        .map(|i| {
+            let api = pool[rng.gen_range(0..pool.len())];
+            let def = cat.get(api);
+            Event {
+                id: MessageId(i as u64),
+                ts: i as u64 * 20,
+                api,
+                direction: Direction::Request,
+                is_rpc: def.is_rpc(),
+                state_change: def.is_state_change(),
+                noise_api: false,
+                src_node: NodeId(0),
+                dst_node: NodeId(1),
+                corr: None,
+                fault: FaultMark::None,
+            }
+        })
+        .collect();
+    let center = n / 2;
+    events[center].api = offending;
+    events[center].fault = FaultMark::RestError(500);
+    (events, center)
+}
+
+fn main() {
+    let seed: u64 = arg("--seed", 42);
+    let wb = Workbench::new(seed);
+    let offending = wb.catalog.rest_expect(
+        gretel_model::Service::Neutron,
+        gretel_model::HttpMethod::Post,
+        "/v2.0/ports.json",
+    );
+
+    // --- Axis 1: library size -------------------------------------------
+    let full_json = wb.library.to_json();
+    let all: Vec<gretel_core::Fingerprint> = serde_json::from_str(&full_json).expect("json");
+    let (events, center) = synth_events(&wb, 8192, offending, seed ^ 0x5CA1);
+
+    let mut lib_rows = Vec::new();
+    for &n in &[100usize, 300, 600, 900, 1200] {
+        // A prefix library (ids stay dense).
+        let subset = serde_json::to_string(&all[..n]).expect("json");
+        let lib = FingerprintLibrary::from_json(wb.catalog.clone(), &subset).expect("load");
+        let cfg = GretelConfig { alpha: events.len(), ..GretelConfig::default() };
+        let detector = Detector::new(&lib, cfg);
+        // Warm up, then time.
+        let _ = detector.detect_operational(&events, center, offending);
+        let reps = 50;
+        let t0 = Instant::now();
+        let mut matched = 0;
+        for _ in 0..reps {
+            matched = detector.detect_operational(&events, center, offending).matched.len();
+        }
+        let per = t0.elapsed().as_secs_f64() * 1e6 / reps as f64;
+        lib_rows.push(LibraryRow { fingerprints: n, detect_us: per, matched });
+    }
+    let table: Vec<Vec<String>> = lib_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.fingerprints.to_string(),
+                format!("{:.0}", r.detect_us),
+                r.matched.to_string(),
+            ]
+        })
+        .collect();
+    results::print_table(
+        "Scaling: detection cost vs library size (8192-event snapshot)",
+        &["fingerprints", "detect µs", "matched"],
+        &table,
+    );
+
+    // --- Axis 2: deployment size ----------------------------------------
+    // Fingerprints were learned on the 7-node standard deployment; the
+    // paper's claim is that they keep working as the deployment grows.
+    let mut dep_rows = Vec::new();
+    for &n_compute in &[3usize, 10, 50, 100] {
+        let deployment = gretel_sim::Deployment::scaled(n_compute);
+        let mut theta = 0.0;
+        let mut recall = 0.0;
+        let seeds = 2u64;
+        for s in 0..seeds {
+            let res = run_with_deployment(&wb, &deployment, seed ^ (s + 1));
+            theta += res.mean_theta;
+            recall += res.recall;
+        }
+        dep_rows.push(DeployRow {
+            compute_nodes: n_compute,
+            theta: theta / seeds as f64,
+            recall: recall / seeds as f64,
+        });
+    }
+    let table: Vec<Vec<String>> = dep_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.compute_nodes.to_string(),
+                format!("{:.2}%", 100.0 * r.theta),
+                format!("{:.2}", r.recall),
+            ]
+        })
+        .collect();
+    results::print_table(
+        "Scaling: precision vs deployment size (100 tests, 8 faults)",
+        &["compute nodes", "theta", "recall"],
+        &table,
+    );
+    results::write_json("scale_library", &lib_rows);
+    results::write_json("scale_deployment", &dep_rows);
+    // Sanity anchor: the canonical first fingerprint is deployment-free.
+    let _ = OpSpecId(0);
+}
+
+/// The fig7-style precision run, but on an arbitrary deployment.
+fn run_with_deployment(
+    wb: &Workbench,
+    deployment: &gretel_sim::Deployment,
+    seed: u64,
+) -> gretel_bench::precision::PrecisionResult {
+    // precision::run uses wb.deployment; temporarily shadow by building a
+    // Workbench-alike view. Simplest correct approach: reuse run() on a
+    // cloned workbench with the new deployment.
+    let wb2 = Workbench {
+        catalog: wb.catalog.clone(),
+        suite: gretel_model::TempestSuite::generate_with_counts(
+            wb.catalog.clone(),
+            42,
+            &gretel_model::Category::ALL
+                .iter()
+                .map(|&c| (c, gretel_model::tempest::table1_targets(c).tests))
+                .collect::<Vec<_>>(),
+        ),
+        deployment: deployment.clone(),
+        library: wb.library.clone(),
+        char_stats: wb.char_stats.clone(),
+    };
+    run(&wb2, PrecisionParams { concurrent: 100, faults: 8, seed, ..Default::default() })
+}

@@ -1,0 +1,124 @@
+//! Table 1 — Characterization of the Tempest test suite.
+//!
+//! Regenerates the paper's Table 1: per category, the number of tests,
+//! unique REST/RPC APIs, REST/RPC events captured during characterization,
+//! and the average fingerprint size with and without RPCs.
+//!
+//! Usage: `cargo run --release -p gretel-bench --bin table1 [--seed N]`
+
+use gretel_bench::{arg, results, Workbench};
+use gretel_model::{Category, OpSpecId};
+use serde::Serialize;
+use std::collections::HashSet;
+
+#[derive(Serialize)]
+struct Row {
+    category: String,
+    tests: usize,
+    unique_rpc: usize,
+    unique_rest: usize,
+    rpc_events: usize,
+    rest_events: usize,
+    avg_fp_with_rpc: f64,
+    avg_fp_without_rpc: f64,
+}
+
+fn main() {
+    let seed: u64 = arg("--seed", 42);
+    let wb = Workbench::new(seed);
+    let cat = &wb.catalog;
+
+    let mut rows = Vec::new();
+    let mut total_rpc_events = 0usize;
+    let mut total_rest_events = 0usize;
+    for category in Category::ALL {
+        let specs: Vec<_> = wb.suite.by_category(category).collect();
+        let mut unique_rest: HashSet<_> = HashSet::new();
+        let mut unique_rpc: HashSet<_> = HashSet::new();
+        let mut fp_with = 0usize;
+        let mut fp_without = 0usize;
+        let mut rest_events = 0usize;
+        let mut rpc_events = 0usize;
+        for spec in &specs {
+            let fp = wb.library.get(spec.id);
+            for atom in &fp.atoms {
+                if cat.get(atom.api).is_rpc() {
+                    unique_rpc.insert(atom.api);
+                } else {
+                    unique_rest.insert(atom.api);
+                }
+            }
+            fp_with += fp.len();
+            fp_without += fp.len_without_rpcs(cat);
+            let st = &wb.char_stats[spec.id.index()];
+            rest_events += st.rest_events;
+            rpc_events += st.rpc_events;
+        }
+        total_rest_events += rest_events;
+        total_rpc_events += rpc_events;
+        rows.push(Row {
+            category: category.name().to_string(),
+            tests: specs.len(),
+            unique_rpc: unique_rpc.len(),
+            unique_rest: unique_rest.len(),
+            rpc_events,
+            rest_events,
+            avg_fp_with_rpc: fp_with as f64 / specs.len() as f64,
+            avg_fp_without_rpc: fp_without as f64 / specs.len() as f64,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.category.clone(),
+                r.tests.to_string(),
+                r.unique_rpc.to_string(),
+                r.unique_rest.to_string(),
+                format!("{:.1}K", r.rpc_events as f64 / 1000.0),
+                format!("{:.1}K", r.rest_events as f64 / 1000.0),
+                format!("{:.0}", r.avg_fp_with_rpc),
+                format!("{:.0}", r.avg_fp_without_rpc),
+            ]
+        })
+        .collect();
+    let mut table = table;
+    table.push(vec![
+        "Total".into(),
+        wb.suite.len().to_string(),
+        "-".into(),
+        "-".into(),
+        format!("{:.1}K", total_rpc_events as f64 / 1000.0),
+        format!("{:.1}K", total_rest_events as f64 / 1000.0),
+        "-".into(),
+        "-".into(),
+    ]);
+    results::print_table(
+        "Table 1: Characterization of the Tempest test suite",
+        &[
+            "Category",
+            "Tests",
+            "uRPC",
+            "uREST",
+            "RPC ev",
+            "REST ev",
+            "FP w/RPC",
+            "FP w/o",
+        ],
+        &table,
+    );
+    println!(
+        "\nFPmax = {} (paper: 384); catalog: {} public REST APIs",
+        wb.library.fp_max(),
+        wb.catalog.public_rest_count()
+    );
+    // Paper example sanity: the canonical VM create fingerprint (a Compute
+    // spec in the suite is larger, so show its size range instead).
+    let largest = (0..wb.suite.len())
+        .map(|i| wb.library.get(OpSpecId(i as u16)).len())
+        .max()
+        .unwrap_or(0);
+    println!("largest fingerprint: {largest} atoms");
+    results::write_json("table1", &rows);
+}

@@ -1,0 +1,76 @@
+//! Result output: aligned console tables plus JSON files under
+//! `results/` for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Print an aligned table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Write a JSON result file under `results/<name>.json` (workspace root).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if fs::write(&path, json).is_ok() {
+                println!("[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("failed to serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "two".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        #[derive(Serialize)]
+        struct R {
+            x: u32,
+        }
+        write_json("unit-test", &R { x: 7 });
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/unit-test.json");
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x\": 7"));
+        let _ = fs::remove_file(path);
+    }
+}

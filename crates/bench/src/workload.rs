@@ -1,0 +1,152 @@
+//! Shared workload construction and scoring for the fault experiments.
+//!
+//! Several experiment binaries need the same machinery: pick faulty
+//! operations (the paper injects erroneous APIs "only from the Compute and
+//! Network category", §7.3), choose a state-change REST step to fail,
+//! build the fault plan, and afterwards score each injected fault against
+//! the analyzer's diagnoses using ground truth.
+
+use crate::Workbench;
+use gretel_core::{Diagnosis, FaultKind};
+use gretel_model::{ApiId, Category, Message, OpInstanceId, OperationSpec};
+use gretel_sim::{ApiFault, FaultPlan, FaultScope, InjectedError};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Ground truth for one injected fault.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// The faulty instance.
+    pub inst: OpInstanceId,
+    /// The spec it runs.
+    pub spec: gretel_model::OpSpecId,
+    /// The spec's name (for reports).
+    pub name: String,
+    /// The API the fault was injected into.
+    pub api: ApiId,
+}
+
+/// Pick a state-change REST API (plus its occurrence index within the
+/// spec) to inject a fault into.
+pub fn pick_fault_step(
+    wb: &Workbench,
+    spec: &OperationSpec,
+    rng: &mut StdRng,
+) -> Option<(ApiId, u32)> {
+    let rest_sc: Vec<usize> = spec
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            let def = wb.catalog.get(s.api);
+            !def.is_rpc() && def.is_state_change()
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if rest_sc.is_empty() {
+        return None;
+    }
+    let step_idx = rest_sc[rng.gen_range(0..rest_sc.len())];
+    let api = spec.steps[step_idx].api;
+    let occurrence = spec.steps[..step_idx].iter().filter(|s| s.api == api).count() as u32;
+    Some((api, occurrence))
+}
+
+/// The pool of specs eligible for fault injection (paper §7.3: Compute and
+/// Network only).
+pub fn faulty_pool(wb: &Workbench) -> Vec<&OperationSpec> {
+    wb.suite
+        .specs()
+        .iter()
+        .filter(|s| matches!(s.category, Category::Compute | Category::Network))
+        .collect()
+}
+
+/// Inject one 500-status abort fault per faulty spec (instance ids
+/// `0..faulty.len()`); returns the plan plus ground truth.
+pub fn build_fault_plan(
+    wb: &Workbench,
+    faulty: &[&OperationSpec],
+    rng: &mut StdRng,
+    identical_pick: Option<(ApiId, u32)>,
+) -> (FaultPlan, Vec<InjectedFault>) {
+    let mut plan = FaultPlan::none();
+    let mut truth = Vec::with_capacity(faulty.len());
+    for (i, spec) in faulty.iter().enumerate() {
+        let (api, occurrence) = identical_pick
+            .or_else(|| pick_fault_step(wb, spec, rng))
+            .expect("spec has state-change REST steps");
+        let inst = OpInstanceId(i as u64);
+        plan = plan.with_api_fault(ApiFault {
+            api,
+            scope: FaultScope::Instance(inst),
+            occurrence,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        truth.push(InjectedFault { inst, spec: spec.id, name: spec.name.clone(), api });
+    }
+    (plan, truth)
+}
+
+/// Find the diagnosis for an injected fault: an operational diagnosis on
+/// the right API whose fault message was emitted by the faulty instance.
+/// (Ground-truth scoring only — GRETEL itself never reads `truth_op`.)
+pub fn diagnosis_for<'d>(
+    diagnoses: &'d [Diagnosis],
+    messages: &[Message],
+    fault: &InjectedFault,
+) -> Option<&'d Diagnosis> {
+    diagnoses
+        .iter()
+        .filter(|d| d.api == fault.api && matches!(d.kind, FaultKind::Operational { .. }))
+        .find(|d| {
+            messages
+                .iter()
+                .find(|m| m.ts_us == d.ts && m.api == d.api && m.is_rest_error())
+                .and_then(|m| m.truth_op)
+                == Some(fault.inst)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fault_pool_is_compute_and_network_only() {
+        let wb = Workbench::small(1, 6);
+        for spec in faulty_pool(&wb) {
+            assert!(matches!(spec.category, Category::Compute | Category::Network));
+        }
+    }
+
+    #[test]
+    fn fault_plan_covers_each_instance_once() {
+        let wb = Workbench::small(2, 6);
+        let pool = faulty_pool(&wb);
+        let mut rng = StdRng::seed_from_u64(1);
+        let faulty: Vec<&OperationSpec> = pool.iter().take(4).copied().collect();
+        let (plan, truth) = build_fault_plan(&wb, &faulty, &mut rng, None);
+        assert_eq!(plan.api_faults.len(), 4);
+        assert_eq!(truth.len(), 4);
+        for (i, f) in truth.iter().enumerate() {
+            assert_eq!(f.inst, OpInstanceId(i as u64));
+            assert!(wb.suite.spec(f.spec).contains(f.api));
+        }
+    }
+
+    #[test]
+    fn pick_fault_step_returns_state_change_rest() {
+        let wb = Workbench::small(3, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        for spec in faulty_pool(&wb).iter().take(10) {
+            let (api, occ) = pick_fault_step(&wb, spec, &mut rng).expect("pickable");
+            let def = wb.catalog.get(api);
+            assert!(!def.is_rpc() && def.is_state_change());
+            let occurrences = spec.steps.iter().filter(|s| s.api == api).count() as u32;
+            assert!(occ < occurrences);
+        }
+    }
+}

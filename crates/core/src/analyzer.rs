@@ -1,0 +1,617 @@
+//! The end-to-end analyzer (Fig 3's central service).
+//!
+//! [`Analyzer::process`] is GRETEL's per-message hot path:
+//!
+//! 1. byte-scan the payload for error patterns (no JSON parsing, §5.3);
+//! 2. pair requests/responses into per-API latency observations and run
+//!    them through the level-shift detectors;
+//! 3. push the event into the dual-buffer sliding window;
+//! 4. on a REST error (or a confirmed latency anomaly), arm a snapshot;
+//!    when the future half fills, run operation detection (Algorithm 2)
+//!    over **every** unanalyzed error in the snapshot — RPC errors ride
+//!    along with the REST error that armed it (§5.3.1 "Improving
+//!    precision") — and hand the matched operations to root cause
+//!    analysis (Algorithm 3).
+//!
+//! Root cause analysis is optional: without telemetry the analyzer still
+//! detects faults and operations (that is the configuration the
+//! throughput experiments run).
+
+use crate::anomaly::{scan_rest_error, scan_rpc_error, LatencyPairer};
+use crate::config::GretelConfig;
+use crate::detect::Detector;
+use crate::event::{Event, FaultMark};
+use crate::fingerprint::FingerprintLibrary;
+use crate::perf::{PerfFault, PerfMonitor};
+use crate::rca::RcaEngine;
+use crate::report::{Diagnosis, FaultKind};
+use crate::window::{SlidingWindow, Snapshot};
+use gretel_model::{Message, MessageId, NodeId, OperationSpec, WireKind};
+use gretel_sim::Deployment;
+use gretel_telemetry::{LevelShiftConfig, TelemetryStore};
+use std::collections::HashSet;
+
+/// Everything RCA needs; optional on the analyzer.
+pub struct RcaContext<'a> {
+    /// The deployment topology (service → nodes).
+    pub deployment: &'a Deployment,
+    /// Collected telemetry.
+    pub telemetry: &'a TelemetryStore,
+    /// The operation specs the library was trained on (dense by id).
+    pub specs: &'a [OperationSpec],
+}
+
+/// Counters exposed for the overhead experiments (§7.4.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalyzerStats {
+    /// Messages processed.
+    pub messages: u64,
+    /// Payload bytes scanned.
+    pub bytes: u64,
+    /// REST errors detected by the byte scan.
+    pub rest_errors: u64,
+    /// RPC errors detected by the byte scan.
+    pub rpc_errors: u64,
+    /// Snapshots frozen.
+    pub snapshots: u64,
+    /// Performance faults confirmed.
+    pub perf_faults: u64,
+}
+
+/// The central analyzer service.
+pub struct Analyzer<'a> {
+    cfg: GretelConfig,
+    lib: &'a FingerprintLibrary,
+    rca: Option<RcaContext<'a>>,
+    window: SlidingWindow,
+    pairer: LatencyPairer,
+    perf: PerfMonitor,
+    analyzed_errors: HashSet<MessageId>,
+    pending_perf: Vec<(MessageId, PerfFault)>,
+    stats: AnalyzerStats,
+    auto_alpha: Option<AutoAlpha>,
+}
+
+/// Dynamic window sizing: the paper derives α from the observed packet
+/// rate (`α = 2·max{FPmax, Prate·t}`) and Prate is "the only dynamic
+/// parameter affecting the value of α". This tracker re-estimates the rate
+/// over a rolling interval and resizes the window accordingly.
+struct AutoAlpha {
+    t_secs: f64,
+    interval_us: u64,
+    window_start: u64,
+    count: u64,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Analyzer without RCA (fault + operation detection only).
+    pub fn new(lib: &'a FingerprintLibrary, cfg: GretelConfig) -> Analyzer<'a> {
+        Self::with_perf_config(lib, cfg, LevelShiftConfig::default(), false)
+    }
+
+    /// Analyzer with explicit perf-detector settings.
+    pub fn with_perf_config(
+        lib: &'a FingerprintLibrary,
+        cfg: GretelConfig,
+        perf_cfg: LevelShiftConfig,
+        keep_latency_history: bool,
+    ) -> Analyzer<'a> {
+        Self::with_perf_monitor(lib, cfg, PerfMonitor::new(perf_cfg, keep_latency_history))
+    }
+
+    /// Analyzer with a fully custom performance monitor (any
+    /// [`gretel_telemetry::OutlierDetector`] plug-in).
+    pub fn with_perf_monitor(
+        lib: &'a FingerprintLibrary,
+        cfg: GretelConfig,
+        perf: PerfMonitor,
+    ) -> Analyzer<'a> {
+        Analyzer {
+            window: SlidingWindow::new(cfg.alpha),
+            cfg,
+            lib,
+            rca: None,
+            pairer: LatencyPairer::new(),
+            perf,
+            analyzed_errors: HashSet::new(),
+            pending_perf: Vec::new(),
+            stats: AnalyzerStats::default(),
+            auto_alpha: None,
+        }
+    }
+
+    /// Enable dynamic window sizing: every `interval` of stream time the
+    /// observed packet rate re-derives α (paper §5.3.1 / §7). `t_secs` is
+    /// the `t` of the α formula.
+    pub fn with_auto_alpha(mut self, t_secs: f64, interval: gretel_sim::SimTime) -> Analyzer<'a> {
+        assert!(t_secs > 0.0 && interval > 0);
+        self.auto_alpha = Some(AutoAlpha {
+            t_secs,
+            interval_us: interval,
+            window_start: 0,
+            count: 0,
+        });
+        self
+    }
+
+    /// The currently configured window size α.
+    pub fn alpha(&self) -> usize {
+        self.window.alpha()
+    }
+
+    /// Attach root cause analysis.
+    pub fn with_rca(mut self, rca: RcaContext<'a>) -> Analyzer<'a> {
+        self.rca = Some(rca);
+        self
+    }
+
+    /// Processing counters.
+    pub fn stats(&self) -> AnalyzerStats {
+        self.stats
+    }
+
+    /// Collected latency history for an API (when enabled).
+    pub fn latency_history(&self, api: gretel_model::ApiId) -> &[(u64, f64)] {
+        self.perf.history(api)
+    }
+
+    /// Ingest one captured message; returns diagnoses completed by it.
+    pub fn process(&mut self, msg: &Message) -> Vec<Diagnosis> {
+        self.stats.messages += 1;
+        self.stats.bytes += msg.payload.len() as u64;
+
+        let def = self.lib.catalog().get(msg.api);
+
+        // 1. Byte-level fault scan (never the structured fields).
+        let fault = match &msg.wire {
+            WireKind::Rest { .. } => match scan_rest_error(&msg.payload) {
+                Some(status) => {
+                    self.stats.rest_errors += 1;
+                    FaultMark::RestError(status)
+                }
+                None => FaultMark::None,
+            },
+            WireKind::Rpc { .. } => {
+                if scan_rpc_error(&msg.payload) {
+                    self.stats.rpc_errors += 1;
+                    FaultMark::RpcError
+                } else {
+                    FaultMark::None
+                }
+            }
+        };
+
+        let ev = Event::new(msg, def.is_rpc(), def.is_state_change(), def.noise.is_some(), fault);
+
+        // 2. Latency pairing → perf detectors (noise APIs excluded: their
+        // cadence is fixed and uninteresting).
+        let mut perf_hit: Option<PerfFault> = None;
+        if !ev.noise_api {
+            if let Some(obs) = self.pairer.observe(msg) {
+                if let Some(pf) = self.perf.observe(obs) {
+                    self.stats.perf_faults += 1;
+                    perf_hit = Some(pf);
+                }
+            }
+        }
+
+        // Dynamic α: re-derive the window size from the observed rate.
+        if let Some(auto) = &mut self.auto_alpha {
+            if auto.count == 0 {
+                auto.window_start = msg.ts_us;
+            }
+            auto.count += 1;
+            let elapsed = msg.ts_us.saturating_sub(auto.window_start);
+            if elapsed >= auto.interval_us {
+                let rate = auto.count as f64 / (elapsed as f64 / 1e6);
+                let alpha = crate::config::GretelConfig::auto(
+                    self.lib.fp_max(),
+                    rate,
+                    auto.t_secs,
+                )
+                .alpha;
+                self.window.resize(alpha);
+                auto.window_start = msg.ts_us;
+                auto.count = 0;
+            }
+        }
+
+        // 3. Window push; completed snapshots get analyzed.
+        let snapshots = self.window.push(ev);
+        let mut out = Vec::new();
+        for snap in snapshots {
+            self.stats.snapshots += 1;
+            out.extend(self.analyze_snapshot(&snap));
+        }
+
+        // 4. Arm new snapshots. Operational: REST errors only (§5.3.1);
+        // one pending freeze at a time — errors landing inside the pending
+        // future-half are analyzed together with it.
+        if ev.fault.is_rest_error() && !ev.noise_api && self.window.pending() == 0 {
+            self.window.arm(ev);
+        }
+        if let Some(pf) = perf_hit {
+            if self.window.pending() == 0 {
+                self.window.arm(ev);
+                self.pending_perf.push((ev.id, pf));
+            } else {
+                // Fold into the upcoming snapshot.
+                self.pending_perf.push((ev.id, pf));
+            }
+        }
+        out
+    }
+
+    /// Flush at stream end: complete pending snapshots with the context
+    /// available.
+    pub fn finish(&mut self) -> Vec<Diagnosis> {
+        let snaps = self.window.flush();
+        let mut out = Vec::new();
+        for snap in snaps {
+            self.stats.snapshots += 1;
+            out.extend(self.analyze_snapshot(&snap));
+        }
+        out
+    }
+
+    fn analyze_snapshot(&mut self, snap: &Snapshot) -> Vec<Diagnosis> {
+        let detector = Detector::new(self.lib, self.cfg);
+        let mut out = Vec::new();
+
+        // Performance faults folded into this snapshot.
+        let perf: Vec<(MessageId, PerfFault)> = std::mem::take(&mut self.pending_perf);
+        for (msg_id, pf) in perf {
+            let idx = snap.events.iter().position(|e| e.id == msg_id);
+            let Some(idx) = idx else {
+                continue; // anomaly's event already slid out; skip
+            };
+            let outcome = detector.detect_performance(&snap.events, pf.api);
+            let kind = FaultKind::Performance {
+                observed_ms: pf.anomaly.value / 1000.0,
+                baseline_ms: pf.anomaly.baseline / 1000.0,
+            };
+            out.push(self.finalize(kind, pf.api, &snap.events, snap.events[idx], outcome));
+        }
+
+        // Operational: every unanalyzed error event in the snapshot (the
+        // REST error that armed it plus any RPC/REST errors nearby).
+        for (idx, ev) in snap.events.iter().enumerate() {
+            if !ev.fault.is_error() || ev.noise_api {
+                continue;
+            }
+            if !self.analyzed_errors.insert(ev.id) {
+                continue;
+            }
+            let outcome = detector.detect_operational(&snap.events, idx, ev.api);
+            let kind = match ev.fault {
+                FaultMark::RestError(s) => FaultKind::Operational { status: Some(s), rpc: false },
+                FaultMark::RpcError => FaultKind::Operational { status: None, rpc: true },
+                FaultMark::None => unreachable!("filtered above"),
+            };
+            out.push(self.finalize(kind, ev.api, &snap.events, *ev, outcome));
+        }
+        out
+    }
+
+    fn finalize(
+        &self,
+        kind: FaultKind,
+        api: gretel_model::ApiId,
+        events: &[Event],
+        fault: Event,
+        outcome: crate::detect::DetectionOutcome,
+    ) -> Diagnosis {
+        let root_causes = match &self.rca {
+            Some(ctx) => {
+                let engine = RcaEngine::new(ctx.deployment, ctx.telemetry);
+                let matched_specs: Vec<&OperationSpec> = outcome
+                    .matched
+                    .iter()
+                    .filter_map(|op| ctx.specs.get(op.index()))
+                    .collect();
+                let error_nodes: Vec<NodeId> = vec![fault.src_node, fault.dst_node];
+                let from = events.first().map(|e| e.ts).unwrap_or(0);
+                let until = events.last().map(|e| e.ts + 1).unwrap_or(1);
+                engine.analyze(&matched_specs, &error_nodes, from, until)
+            }
+            None => Vec::new(),
+        };
+        Diagnosis {
+            kind,
+            api,
+            ts: fault.ts,
+            matched: outcome.matched,
+            theta: outcome.theta,
+            beta_used: outcome.beta_used,
+            candidates: outcome.candidates,
+            root_causes,
+        }
+    }
+}
+
+/// Convenience: run a full message stream through an analyzer and return
+/// every diagnosis.
+pub fn analyze_stream<'m>(
+    analyzer: &mut Analyzer<'_>,
+    messages: impl IntoIterator<Item = &'m Message>,
+) -> Vec<Diagnosis> {
+    let mut out = Vec::new();
+    for m in messages {
+        out.extend(analyzer.process(m));
+    }
+    out.extend(analyzer.finish());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FingerprintLibrary;
+    use gretel_model::{Catalog, HttpMethod, OpSpecId, Service, Workflows};
+    use gretel_sim::{
+        ApiFault, FaultPlan, FaultScope, InjectedError, NoiseConfig, RunConfig, Runner,
+    };
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Catalog>, Deployment, Vec<OperationSpec>, FingerprintLibrary) {
+        let cat = Catalog::openstack();
+        let dep = Deployment::standard();
+        let wf = Workflows::new(cat.clone());
+        let specs = vec![
+            wf.vm_create_spec(OpSpecId(0)),
+            wf.image_upload_spec(OpSpecId(1)),
+            wf.cinder_list_spec(OpSpecId(2)),
+        ];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 11);
+        (cat, dep, specs, lib)
+    }
+
+    #[test]
+    fn detects_injected_rest_error_and_matches_operation() {
+        let (cat, dep, specs, lib) = setup();
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: ports_post,
+            scope: FaultScope::AllInstances,
+            occurrence: 0,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        let cfg = RunConfig { seed: 3, noise: NoiseConfig::default(), ..RunConfig::default() };
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(cat.clone(), &dep, &plan, cfg).run(&refs);
+
+        let gcfg = GretelConfig { alpha: 64, ..GretelConfig::default() };
+        let mut analyzer = Analyzer::new(&lib, gcfg);
+        let diagnoses = analyze_stream(&mut analyzer, exec.messages.iter());
+
+        // The ports fault happens inside the VM create; expect at least
+        // one operational diagnosis naming op 0.
+        let hit = diagnoses
+            .iter()
+            .find(|d| matches!(d.kind, FaultKind::Operational { status: Some(500), .. }))
+            .expect("operational diagnosis for the injected 500");
+        assert!(hit.matched.contains(&OpSpecId(0)), "matched: {:?}", hit.matched);
+        assert!(analyzer.stats().rest_errors >= 1);
+    }
+
+    #[test]
+    fn clean_run_produces_no_diagnoses() {
+        let (cat, dep, specs, lib) = setup();
+        let plan = FaultPlan::none();
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(
+            cat,
+            &dep,
+            &plan,
+            RunConfig { seed: 5, ..RunConfig::default() },
+        )
+        .run(&refs);
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 64, ..Default::default() });
+        let diagnoses = analyze_stream(&mut analyzer, exec.messages.iter());
+        assert!(diagnoses.is_empty(), "got {diagnoses:?}");
+        assert_eq!(analyzer.stats().rest_errors, 0);
+    }
+
+    #[test]
+    fn rpc_error_rides_along_with_rest_relay() {
+        let (cat, dep, specs, lib) = setup();
+        // An RPC *call* so the exception appears in a reply on the wire
+        // (cast failures surface only via the REST relay).
+        let rpc = cat.rpc_expect(Service::Neutron, "get_devices_details_list");
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: rpc,
+            scope: FaultScope::Instance(gretel_model::OpInstanceId(0)),
+            occurrence: 0,
+            error: InjectedError::RpcException { class: "NoValidHost".into() },
+            abort_op: true,
+        });
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(
+            cat,
+            &dep,
+            &plan,
+            RunConfig { seed: 7, ..RunConfig::default() },
+        )
+        .run(&refs);
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 64, ..Default::default() });
+        let diagnoses = analyze_stream(&mut analyzer, exec.messages.iter());
+        // Both the REST relay (500) and the RPC exception analyzed.
+        assert!(diagnoses
+            .iter()
+            .any(|d| matches!(d.kind, FaultKind::Operational { rpc: true, .. })));
+        assert!(diagnoses
+            .iter()
+            .any(|d| matches!(d.kind, FaultKind::Operational { status: Some(500), .. })));
+    }
+
+    #[test]
+    fn rca_finds_disk_exhaustion_for_image_upload() {
+        let (cat, _dep, specs, lib) = setup();
+        let sc = gretel_sim::scenario::failed_image_upload(&cat, 13, 2);
+        let exec = sc.run(cat.clone());
+        let telemetry = TelemetryStore::from_execution(&exec);
+        // NOTE: the scenario has its own specs (image upload first);
+        // library trained on `specs` covers the same canonical op ids 0-2.
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 64, ..Default::default() })
+            .with_rca(RcaContext { deployment: &sc.deployment, telemetry: &telemetry, specs: &specs });
+        let diagnoses = analyze_stream(&mut analyzer, exec.messages.iter());
+        let d = diagnoses
+            .iter()
+            .find(|d| matches!(d.kind, FaultKind::Operational { status: Some(413), .. }))
+            .expect("413 diagnosed");
+        assert!(
+            d.root_causes.iter().any(|rc| {
+                rc.node == gretel_model::NodeId(2)
+                    && matches!(rc.cause, crate::rca::CauseKind::Resource(gretel_sim::ResourceKind::DiskFreeGb))
+            }),
+            "causes: {:?}",
+            d.root_causes
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let (_, _, _, lib) = setup();
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 8, ..Default::default() });
+        assert!(analyzer.finish().is_empty());
+        assert_eq!(analyzer.stats().messages, 0);
+    }
+
+    #[test]
+    fn fault_on_the_first_message_is_handled() {
+        let (cat, dep, specs, lib) = setup();
+        // Abort the very first step of the very first instance; the error
+        // is among the earliest messages on the wire.
+        let first_api = specs[0].steps[0].api;
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: first_api,
+            scope: FaultScope::Instance(gretel_model::OpInstanceId(0)),
+            occurrence: 0,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(
+            cat,
+            &dep,
+            &plan,
+            RunConfig { seed: 1, start_window: 0, noise: NoiseConfig::off(), ..Default::default() },
+        )
+        .run(&refs);
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 64, ..Default::default() });
+        let diagnoses = analyze_stream(&mut analyzer, exec.messages.iter());
+        assert!(diagnoses
+            .iter()
+            .any(|d| matches!(d.kind, FaultKind::Operational { status: Some(500), .. })));
+    }
+
+    #[test]
+    fn malformed_payloads_never_panic() {
+        let (_, _, _, lib) = setup();
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 8, ..Default::default() });
+        let payloads: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0xFF; 3],
+            b"HTTP/1.1 ".to_vec(),          // truncated status line
+            b"HTTP/1.1 99".to_vec(),        // two digits only
+            b"HTTP/1.1 ABC hello".to_vec(), // non-numeric status
+            vec![0u8; 65_536],              // large zero blob
+        ];
+        for (i, payload) in payloads.into_iter().enumerate() {
+            let msg = gretel_model::Message {
+                id: gretel_model::MessageId(i as u64),
+                ts_us: i as u64,
+                src_node: gretel_model::NodeId(0),
+                dst_node: gretel_model::NodeId(1),
+                src_service: Service::Horizon,
+                dst_service: Service::Nova,
+                api: gretel_model::ApiId(3),
+                direction: gretel_model::Direction::Response,
+                wire: gretel_model::WireKind::Rest {
+                    method: HttpMethod::Get,
+                    uri: "/x".into(),
+                    status: Some(200),
+                },
+                conn: gretel_model::ConnKey::default(),
+                payload,
+                correlation_id: None,
+                truth_op: None,
+                truth_noise: false,
+            };
+            let _ = analyzer.process(&msg);
+        }
+        let _ = analyzer.finish();
+    }
+
+    #[test]
+    fn duplicate_error_messages_are_analyzed_once() {
+        let (cat, dep, specs, lib) = setup();
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: ports_post,
+            scope: FaultScope::AllInstances,
+            occurrence: 0,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(cat, &dep, &plan, RunConfig { seed: 3, ..Default::default() })
+            .run(&refs);
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 32, ..Default::default() });
+        // Feed the stream TWICE (e.g. an operator replaying a capture into
+        // a live analyzer): the error dedup keeps each error analyzed once.
+        let mut diagnoses = Vec::new();
+        for m in exec.messages.iter().chain(exec.messages.iter()) {
+            diagnoses.extend(analyzer.process(m));
+        }
+        diagnoses.extend(analyzer.finish());
+        let errors_on_wire =
+            exec.messages.iter().filter(|m| m.is_rest_error()).count();
+        let operational = diagnoses
+            .iter()
+            .filter(|d| matches!(d.kind, FaultKind::Operational { .. }))
+            .count();
+        assert!(operational <= errors_on_wire, "{operational} <= {errors_on_wire}");
+    }
+
+    #[test]
+    fn auto_alpha_tracks_the_observed_rate() {
+        let (cat, dep, specs, lib) = setup();
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(
+            cat,
+            &dep,
+            &FaultPlan::none(),
+            RunConfig { seed: 4, ..RunConfig::default() },
+        )
+        .run(&refs);
+        let mut analyzer =
+            Analyzer::new(&lib, GretelConfig { alpha: 768, ..Default::default() })
+                .with_auto_alpha(1.0, gretel_sim::SECOND);
+        for m in &exec.messages {
+            analyzer.process(m);
+        }
+        // The low-rate stream shrinks the window toward 2·FPmax.
+        let alpha = analyzer.alpha();
+        assert!(alpha < 768, "alpha adapted down: {alpha}");
+        assert!(alpha >= 2 * lib.fp_max().min(400), "alpha floored by FPmax: {alpha}");
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let (cat, dep, specs, lib) = setup();
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(
+            cat,
+            &dep,
+            &FaultPlan::none(),
+            RunConfig { seed: 1, ..RunConfig::default() },
+        )
+        .run(&refs);
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 64, ..Default::default() });
+        analyze_stream(&mut analyzer, exec.messages.iter());
+        assert_eq!(analyzer.stats().messages as usize, exec.messages.len());
+        assert_eq!(analyzer.stats().bytes as usize, exec.total_payload_bytes());
+    }
+}

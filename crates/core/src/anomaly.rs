@@ -1,0 +1,219 @@
+//! Byte-level fault scanning and latency pairing.
+//!
+//! GRETEL "does not parse the JSON formatted message body and simply uses
+//! regular expressions to identify error codes in the message" (§5.3).
+//! This module is that fast path: fixed byte-pattern scans over raw
+//! payloads (no allocation, no parsing), plus the request/response pairing
+//! that turns message timestamps into per-API latency observations —
+//! REST pairs by TCP connection metadata, RPC pairs by message id.
+
+use gretel_model::{ApiId, ConnKey, Message, WireKind};
+use gretel_sim::SimTime;
+use std::collections::HashMap;
+
+/// Scan an HTTP payload for an error status line (`HTTP/1.1 NNN` with
+/// `NNN >= 400`). Returns the status when found.
+pub fn scan_rest_error(payload: &[u8]) -> Option<u16> {
+    const PREFIX: &[u8] = b"HTTP/1.1 ";
+    if payload.len() < PREFIX.len() + 3 || &payload[..PREFIX.len()] != PREFIX {
+        return None;
+    }
+    let d = &payload[PREFIX.len()..PREFIX.len() + 3];
+    if !d.iter().all(u8::is_ascii_digit) {
+        return None;
+    }
+    let status = (d[0] - b'0') as u16 * 100 + (d[1] - b'0') as u16 * 10 + (d[2] - b'0') as u16;
+    (status >= 400).then_some(status)
+}
+
+/// Scan an oslo.messaging payload for a serialized exception. oslo embeds
+/// failures as a `"failure"` object; the scan is a plain substring search.
+pub fn scan_rpc_error(payload: &[u8]) -> bool {
+    const NEEDLE: &[u8] = b"\"failure\"";
+    payload.windows(NEEDLE.len()).any(|w| w == NEEDLE)
+}
+
+/// One latency observation produced by pairing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyObs {
+    /// The API measured.
+    pub api: ApiId,
+    /// Response timestamp (the observation's time coordinate).
+    pub ts: SimTime,
+    /// Request→response latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Pairs REST requests with responses via connection metadata and RPCs via
+/// message ids, emitting [`LatencyObs`] as responses arrive.
+#[derive(Debug, Default)]
+pub struct LatencyPairer {
+    rest: HashMap<(ConnKey, ApiId), SimTime>,
+    rpc: HashMap<u64, (ApiId, SimTime)>,
+}
+
+impl LatencyPairer {
+    /// Empty pairer.
+    pub fn new() -> LatencyPairer {
+        LatencyPairer::default()
+    }
+
+    /// Feed one message; returns a latency observation when it completes a
+    /// pair.
+    pub fn observe(&mut self, msg: &Message) -> Option<LatencyObs> {
+        match (&msg.wire, msg.direction) {
+            (WireKind::Rest { .. }, gretel_model::Direction::Request) => {
+                self.rest.insert((msg.conn.canonical(), msg.api), msg.ts_us);
+                None
+            }
+            (WireKind::Rest { .. }, gretel_model::Direction::Response) => {
+                let start = self.rest.remove(&(msg.conn.canonical(), msg.api))?;
+                Some(LatencyObs {
+                    api: msg.api,
+                    ts: msg.ts_us,
+                    latency_us: msg.ts_us.saturating_sub(start),
+                })
+            }
+            (WireKind::Rpc { msg_id, .. }, gretel_model::Direction::Request) => {
+                self.rpc.insert(*msg_id, (msg.api, msg.ts_us));
+                None
+            }
+            (WireKind::Rpc { msg_id, .. }, gretel_model::Direction::Response) => {
+                let (api, start) = self.rpc.remove(msg_id)?;
+                Some(LatencyObs {
+                    api,
+                    ts: msg.ts_us,
+                    latency_us: msg.ts_us.saturating_sub(start),
+                })
+            }
+        }
+    }
+
+    /// Outstanding unpaired requests (useful for leak checks).
+    pub fn outstanding(&self) -> usize {
+        self.rest.len() + self.rpc.len()
+    }
+
+    /// Drop unpaired requests older than `cutoff` (casts never get replies
+    /// and would otherwise accumulate).
+    pub fn expire_before(&mut self, cutoff: SimTime) {
+        self.rest.retain(|_, &mut ts| ts >= cutoff);
+        self.rpc.retain(|_, &mut (_, ts)| ts >= cutoff);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gretel_model::message::{
+        render_rest_request_payload, render_rest_response_payload, render_rpc_payload,
+    };
+    use gretel_model::{
+        ApiId, ConnKey, Direction, HttpMethod, Message, MessageId, NodeId, Service,
+    };
+
+    #[test]
+    fn rest_error_scan_finds_4xx_and_5xx() {
+        for status in [400u16, 401, 404, 409, 413, 500, 503] {
+            let p = render_rest_response_payload(status, "x", 32);
+            assert_eq!(scan_rest_error(&p), Some(status), "status {status}");
+        }
+    }
+
+    #[test]
+    fn rest_success_and_requests_scan_clean() {
+        for status in [200u16, 201, 202, 204] {
+            let p = render_rest_response_payload(status, "OK", 32);
+            assert_eq!(scan_rest_error(&p), None);
+        }
+        let req = render_rest_request_payload(HttpMethod::Get, "/v2.1/servers", 0);
+        assert_eq!(scan_rest_error(&req), None);
+        assert_eq!(scan_rest_error(b""), None);
+        assert_eq!(scan_rest_error(b"HTTP/1.1 XYZ"), None);
+    }
+
+    #[test]
+    fn rpc_error_scan() {
+        let bad = render_rpc_payload("create_volume", 7, Some("Boom"), 64);
+        let good = render_rpc_payload("create_volume", 8, None, 64);
+        assert!(scan_rpc_error(&bad));
+        assert!(!scan_rpc_error(&good));
+    }
+
+    fn rest_msg(id: u64, ts: u64, dir: Direction, conn: ConnKey) -> Message {
+        Message {
+            id: MessageId(id),
+            ts_us: ts,
+            src_node: conn.src,
+            dst_node: conn.dst,
+            src_service: Service::Horizon,
+            dst_service: Service::Nova,
+            api: ApiId(9),
+            direction: dir,
+            wire: WireKind::Rest {
+                method: HttpMethod::Get,
+                uri: "/v2.1/servers".into(),
+                status: matches!(dir, Direction::Response).then_some(200),
+            },
+            conn,
+            payload: vec![],
+            correlation_id: None,
+            truth_op: None,
+            truth_noise: false,
+        }
+    }
+
+    #[test]
+    fn rest_pairing_by_connection() {
+        let mut p = LatencyPairer::new();
+        let conn = ConnKey { src: NodeId(0), src_port: 31000, dst: NodeId(1), dst_port: 8774 };
+        assert!(p.observe(&rest_msg(0, 1_000, Direction::Request, conn)).is_none());
+        let obs = p
+            .observe(&rest_msg(1, 26_000, Direction::Response, conn.reversed()))
+            .expect("pair completes");
+        assert_eq!(obs.latency_us, 25_000);
+        assert_eq!(obs.api, ApiId(9));
+        assert_eq!(p.outstanding(), 0);
+    }
+
+    #[test]
+    fn rpc_pairing_by_msg_id() {
+        let mut p = LatencyPairer::new();
+        let mk = |id: u64, ts: u64, dir: Direction| Message {
+            id: MessageId(id),
+            ts_us: ts,
+            src_node: NodeId(4),
+            dst_node: NodeId(0),
+            src_service: Service::NovaCompute,
+            dst_service: Service::Nova,
+            api: ApiId(700),
+            direction: dir,
+            wire: WireKind::Rpc { method: "attach_volume".into(), msg_id: 55, error: None },
+            conn: ConnKey::default(),
+            payload: vec![],
+            correlation_id: None,
+            truth_op: None,
+            truth_noise: false,
+        };
+        assert!(p.observe(&mk(0, 5_000, Direction::Request)).is_none());
+        let obs = p.observe(&mk(1, 65_000, Direction::Response)).unwrap();
+        assert_eq!(obs.latency_us, 60_000);
+    }
+
+    #[test]
+    fn unmatched_response_is_ignored() {
+        let mut p = LatencyPairer::new();
+        let conn = ConnKey { src: NodeId(0), src_port: 1, dst: NodeId(1), dst_port: 2 };
+        assert!(p.observe(&rest_msg(0, 10, Direction::Response, conn)).is_none());
+    }
+
+    #[test]
+    fn expire_drops_stale_requests() {
+        let mut p = LatencyPairer::new();
+        let conn = ConnKey { src: NodeId(0), src_port: 1, dst: NodeId(1), dst_port: 2 };
+        p.observe(&rest_msg(0, 10, Direction::Request, conn));
+        assert_eq!(p.outstanding(), 1);
+        p.expire_before(1_000);
+        assert_eq!(p.outstanding(), 0);
+    }
+}

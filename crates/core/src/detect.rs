@@ -1,0 +1,597 @@
+//! Operation detection (Algorithm 2 + the context buffer of §5.3.1).
+//!
+//! Given a frozen snapshot and the offending API, GRETEL:
+//!
+//! 1. pulls the candidate set — operations whose fingerprint contains the
+//!    offending API (`GET_POSSIBLE_OFFENDING_OPERATIONS`);
+//! 2. truncates each candidate fingerprint at the last occurrence of the
+//!    offending API (`TRUNCATE_OPERATION_FINGERPRINTS`) — operational
+//!    faults abort the operation, so nothing after the fault is on the
+//!    wire;
+//! 3. matches candidates against a **context buffer**: a slice of the
+//!    snapshot centred on the fault that starts at β₀ = c1·α messages and
+//!    grows by δ = c2·α per side. The default policy stops at the
+//!    earliest growth step where a substantial pattern completes (see
+//!    [`GretelConfig::scored_slack`] and DESIGN.md §7); the paper's
+//!    literal stop-on-θ-drop rule is available as an ablation
+//!    (`scored_slack: None`), where θ = (N−n)/(N−1);
+//! 4. for performance faults the operation completes normally, so the
+//!    whole buffer is used and fingerprints are *not* truncated.
+
+use crate::config::{theta, GretelConfig};
+use crate::event::Event;
+use crate::fingerprint::{Fingerprint, FingerprintLibrary};
+use crate::matcher::{matches_relaxed, matches_strict};
+use crate::window::Snapshot;
+use gretel_model::{ApiId, OpSpecId};
+
+/// Result of one operation-detection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionOutcome {
+    /// Operations the snapshot matched.
+    pub matched: Vec<OpSpecId>,
+    /// Precision θ = (N − n)/(N − 1).
+    pub theta: f64,
+    /// Final context-buffer size (messages) used.
+    pub beta_used: usize,
+    /// Candidate count before snapshot matching — what matching "with API
+    /// error" alone would report (the baseline bars of Fig 7b/7c).
+    pub candidates: usize,
+}
+
+/// Operation detector bound to a fingerprint library and a configuration.
+pub struct Detector<'a> {
+    lib: &'a FingerprintLibrary,
+    cfg: GretelConfig,
+}
+
+impl<'a> Detector<'a> {
+    /// New detector.
+    pub fn new(lib: &'a FingerprintLibrary, cfg: GretelConfig) -> Detector<'a> {
+        Detector { lib, cfg }
+    }
+
+    /// The library in use.
+    pub fn library(&self) -> &FingerprintLibrary {
+        self.lib
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GretelConfig {
+        &self.cfg
+    }
+
+    /// Algorithm 2 for an operational fault: the offending API aborted its
+    /// operation. `events` is the frozen snapshot; `fault_index` the
+    /// offending message's position within it.
+    pub fn detect_operational(
+        &self,
+        events: &[Event],
+        fault_index: usize,
+        offending: ApiId,
+    ) -> DetectionOutcome {
+        let patterns = self.truncated_patterns(offending);
+        let candidates = self.lib.candidates(offending).len();
+        let mut out = self.match_with_context(events, fault_index, &patterns);
+        out.candidates = candidates;
+        out
+    }
+
+    /// Convenience wrapper over a [`Snapshot`].
+    pub fn detect_operational_snapshot(
+        &self,
+        snapshot: &Snapshot,
+        offending: ApiId,
+    ) -> DetectionOutcome {
+        self.detect_operational(&snapshot.events, snapshot.fault_index, offending)
+    }
+
+    /// Detection for a performance fault: the operation proceeds to
+    /// completion, so fingerprints are *not* truncated and the evidence
+    /// extends on both sides of the anomalous API. The pattern is a
+    /// bounded literal slice centred on the API (long operations exceed
+    /// any finite window), matched over the whole context buffer (§5.3.1
+    /// "Improving precision").
+    pub fn detect_performance(&self, events: &[Event], offending: ApiId) -> DetectionOutcome {
+        let catalog = self.lib.catalog();
+        let buffer = buffer_apis(events, 0, events.len());
+        // Tighter bound than the operational path: the anomaly sits
+        // mid-operation and only nearby steps are reliably inside the
+        // window. RPC symbols are kept — performance faults frequently
+        // *are* RPC latencies (§3.1.2), so pruning would erase the anchor.
+        let k = self.cfg.max_literals.map(|k| (k / 2).max(2)).unwrap_or(usize::MAX);
+        let candidates = self.lib.candidates(offending);
+        let mut matched: Vec<OpSpecId> = candidates
+            .iter()
+            .filter(|&&op| {
+                self.lib
+                    .get(op)
+                    .centered_literals(catalog, false, offending, k)
+                    .iter()
+                    .any(|pattern| crate::lcs::is_subsequence(pattern, &buffer))
+            })
+            .copied()
+            .collect();
+        matched.sort();
+        matched.dedup();
+        DetectionOutcome {
+            theta: theta(matched.len(), self.lib.len()),
+            beta_used: events.len(),
+            candidates: candidates.len(),
+            matched,
+        }
+    }
+
+    fn truncated_patterns(&self, offending: ApiId) -> Vec<Fingerprint> {
+        self.lib
+            .candidates(offending)
+            .iter()
+            .flat_map(|&op| {
+                let fp = self.lib.get(op);
+                if self.cfg.truncate {
+                    // One pattern per possible truncation point; a
+                    // candidate operation matches if any of them does.
+                    fp.truncate_at_each(offending)
+                } else {
+                    vec![fp.clone()]
+                }
+            })
+            .collect()
+    }
+
+    fn match_patterns(&self, patterns: &[Fingerprint], buffer: &[ApiId]) -> Vec<OpSpecId> {
+        let catalog = self.lib.catalog();
+        let mut matched: Vec<OpSpecId> = if self.cfg.relaxed {
+            patterns
+                .iter()
+                .filter(|fp| {
+                    matches_relaxed(fp, catalog, self.cfg.prune_rpcs, self.cfg.max_literals, buffer)
+                })
+                .map(|fp| fp.op)
+                .collect()
+        } else {
+            patterns.iter().filter(|fp| matches_strict(fp, buffer)).map(|fp| fp.op).collect()
+        };
+        matched.sort();
+        matched.dedup();
+        matched
+    }
+
+    /// The context-buffer growth loop.
+    ///
+    /// Two policies:
+    ///
+    /// * `scored_slack = Some(slack)` (default) — **earliest completion
+    ///   with a length floor and a grace period**, computed analytically:
+    ///   for every candidate pattern the minimal half-width `h*` at which
+    ///   its whole literal sequence is present (in order, anchored at the
+    ///   fault — operational faults abort, so all evidence precedes the
+    ///   fault) is derived by greedy backward matching over per-API
+    ///   occurrence indexes. The search "stops" at the first growth step
+    ///   where a pattern of at least `min_pattern` literals completes,
+    ///   plus `grace_steps` further increments so longer patterns can
+    ///   assemble; the longest complete candidates (within `slack`) are
+    ///   reported. Equivalent to growing β by δ per side and re-matching,
+    ///   but O(patterns · len · log) instead of O(patterns · β · steps).
+    /// * `scored_slack = None` — the plain presence predicate driven by
+    ///   the paper's stop-on-θ-drop rule (§5.3.1), with `grow_full`
+    ///   optionally disabling the early stop (ablation path).
+    fn match_with_context(
+        &self,
+        events: &[Event],
+        fault_index: usize,
+        patterns: &[Fingerprint],
+    ) -> DetectionOutcome {
+        // Project the snapshot onto its noise-filtered API sequence once.
+        // When the deployment propagates correlation ids and the fault
+        // message carries one, restrict the buffer to the faulty
+        // operation's own messages — the §5.3.1 precision enhancement.
+        let corr_filter = if self.cfg.use_correlation_ids {
+            events.get(fault_index).and_then(|e| e.corr)
+        } else {
+            None
+        };
+        let mut filtered: Vec<ApiId> = Vec::with_capacity(events.len());
+        let mut center = 0usize;
+        for (i, e) in events.iter().enumerate() {
+            if i == fault_index {
+                center = filtered.len();
+            }
+            if e.noise_api {
+                continue;
+            }
+            if let Some(corr) = corr_filter {
+                if e.corr != Some(corr) && i != fault_index {
+                    continue;
+                }
+            }
+            filtered.push(e.api);
+        }
+        let n_events = filtered.len();
+        let h0 = (self.cfg.beta0() / 2).max(1);
+        let delta = self.cfg.delta();
+
+        // With a correlation-restricted buffer the evidence is exactly the
+        // faulty operation's own message sequence, so matching can demand
+        // *equality* of literal sequences instead of subsequence presence:
+        // only candidates whose truncated fingerprint literals equal the
+        // observed literals survive. Far stronger than presence matching —
+        // this is precisely the precision gain §5.3.1 predicts.
+        if corr_filter.is_some() {
+            let catalog = self.lib.catalog();
+            // The operation's own message sequence: collapse request/
+            // response pairs (consecutive after the corr restriction) and
+            // apply the same idempotent-repeat filter Algorithm 1 applied
+            // when the fingerprint was learned, so both sides are in the
+            // same normal form. Every symbol is reliable here — there is
+            // no interleaving — so starred atoms participate too.
+            let raw: Vec<ApiId> = dedup_consecutive(
+                events
+                    .iter()
+                    .filter(|e| !e.noise_api && e.corr == corr_filter)
+                    .map(|e| e.api),
+            );
+            let buf_seq = crate::noise_filter::filter_noise(catalog, &raw);
+            let buf_literals: Vec<ApiId> =
+                buf_seq.iter().copied().filter(|&a| catalog.get(a).is_state_change()).collect();
+            // Two conditions, both exploiting that every buffered symbol
+            // genuinely belongs to the faulty operation:
+            // 1. the observed state-change sequence is a contiguous
+            //    *suffix* of the candidate's truncated literal sequence
+            //    (the window holds a contiguous tail of the operation);
+            // 2. the observed full sequence — reads included — embeds in
+            //    the candidate's truncated atom sequence in order (reads
+            //    may shift position due to idempotent-repeat pruning, but
+            //    can never be foreign symbols).
+            let mut exact: Vec<OpSpecId> = patterns
+                .iter()
+                .filter(|fp| {
+                    !buf_literals.is_empty()
+                        && fp.literals(catalog, false).ends_with(&buf_literals)
+                        && crate::lcs::is_subsequence(&buf_seq, &fp.api_seq())
+                })
+                .map(|fp| fp.op)
+                .collect();
+            exact.sort();
+            exact.dedup();
+            if !exact.is_empty() {
+                return DetectionOutcome {
+                    theta: theta(exact.len(), self.lib.len()),
+                    beta_used: filtered.len(),
+                    candidates: patterns.len(),
+                    matched: exact,
+                };
+            }
+            // Normal-form mismatch (e.g. the window clipped mid-pair):
+            // fall through to subsequence matching over the (already
+            // corr-restricted) buffer.
+        }
+
+        if let Some(slack) = self.cfg.scored_slack {
+            return self.match_scored(&filtered, center, patterns, slack, h0, delta);
+        }
+
+        // Presence policy with the paper's θ-drop stop rule (iterative).
+        let mut half = h0;
+        let mut prev: Option<(Vec<OpSpecId>, usize)> = None;
+        loop {
+            let lo = center.saturating_sub(half);
+            let hi = (center + half + 1).min(n_events);
+            let buffer = &filtered[lo..hi];
+            let beta_used = hi - lo;
+            let covered = lo == 0 && hi == n_events;
+            let matched = self.match_patterns(patterns, buffer);
+            if !self.cfg.grow_full {
+                if let Some((prev_matched, prev_beta)) = &prev {
+                    if !prev_matched.is_empty() && matched.len() > prev_matched.len() {
+                        return DetectionOutcome {
+                            theta: theta(prev_matched.len(), self.lib.len()),
+                            beta_used: *prev_beta,
+                            candidates: patterns.len(),
+                            matched: prev_matched.clone(),
+                        };
+                    }
+                }
+            }
+            if covered {
+                return DetectionOutcome {
+                    theta: theta(matched.len(), self.lib.len()),
+                    beta_used,
+                    candidates: patterns.len(),
+                    matched,
+                };
+            }
+            prev = Some((matched, beta_used));
+            half += delta;
+        }
+    }
+
+    /// Analytic earliest-complete scoring (see [`Self::match_with_context`]).
+    fn match_scored(
+        &self,
+        filtered: &[ApiId],
+        center: usize,
+        patterns: &[Fingerprint],
+        slack: usize,
+        h0: usize,
+        delta: usize,
+    ) -> DetectionOutcome {
+        let catalog = self.lib.catalog();
+        // Occurrence index over the anchored past (positions <= center).
+        let mut positions: std::collections::HashMap<ApiId, Vec<usize>> =
+            std::collections::HashMap::new();
+        let upper = (center + 1).min(filtered.len());
+        for (i, &api) in filtered[..upper].iter().enumerate() {
+            positions.entry(api).or_default().push(i);
+        }
+
+        // Greedy backward match: the minimal past half-width at which the
+        // pattern is fully present, or None when it never completes.
+        let min_half = |pattern: &[ApiId]| -> Option<usize> {
+            let mut bound = upper; // exclusive upper bound for the next literal
+            for &lit in pattern.iter().rev() {
+                let occ = positions.get(&lit)?;
+                let idx = occ.partition_point(|&p| p < bound);
+                if idx == 0 {
+                    return None;
+                }
+                bound = occ[idx - 1];
+            }
+            Some(center - bound)
+        };
+
+        let mut long: Vec<(usize, usize, OpSpecId)> = Vec::new(); // (h*, len, op)
+        let mut short: Vec<(usize, OpSpecId)> = Vec::new();
+        for fp in patterns {
+            let literals = fp.literals(catalog, self.cfg.prune_rpcs);
+            let pattern: &[ApiId] = match self.cfg.max_literals {
+                Some(k) if literals.len() > k => &literals[literals.len() - k..],
+                _ => &literals[..],
+            };
+            if pattern.is_empty() {
+                continue;
+            }
+            if let Some(h) = min_half(pattern) {
+                if pattern.len() >= self.cfg.min_pattern {
+                    long.push((h, pattern.len(), fp.op));
+                } else {
+                    short.push((h, fp.op));
+                }
+            }
+        }
+
+        if let Some(&(h_min, _, _)) = long.iter().min_by_key(|&&(h, _, _)| h) {
+            // First growth step reaching h_min, plus the grace period.
+            let k_first = h_min.saturating_sub(h0).div_ceil(delta.max(1));
+            let h_stop = (h0 + (k_first + self.cfg.grace_steps) * delta).min(center.max(h0));
+            let eligible: Vec<(usize, OpSpecId)> = long
+                .iter()
+                .filter(|&&(h, _, _)| h <= h_stop)
+                .map(|&(_, l, op)| (l, op))
+                .collect();
+            let max_len = eligible.iter().map(|&(l, _)| l).max().unwrap_or(0);
+            let mut matched: Vec<OpSpecId> = eligible
+                .into_iter()
+                .filter(|&(l, _)| l + slack >= max_len)
+                .map(|(_, op)| op)
+                .collect();
+            matched.sort();
+            matched.dedup();
+            return DetectionOutcome {
+                theta: theta(matched.len(), self.lib.len()),
+                beta_used: (2 * h_stop + 1).min(filtered.len()),
+                candidates: patterns.len(),
+                matched,
+            };
+        }
+
+        // Nothing substantial ever completed: fall back to the trivially
+        // complete candidates (ops for which the offending API is their
+        // opening state change).
+        let mut matched: Vec<OpSpecId> = short.into_iter().map(|(_, op)| op).collect();
+        matched.sort();
+        matched.dedup();
+        DetectionOutcome {
+            theta: theta(matched.len(), self.lib.len()),
+            beta_used: filtered.len(),
+            candidates: patterns.len(),
+            matched,
+        }
+    }
+}
+
+/// Project a slice of events onto its API sequence, dropping noise-class
+/// APIs (GRETEL knows heartbeats/status RPCs are noise and prunes them
+/// before matching).
+fn buffer_apis(events: &[Event], lo: usize, hi: usize) -> Vec<ApiId> {
+    events[lo..hi].iter().filter(|e| !e.noise_api).map(|e| e.api).collect()
+}
+
+/// Collapse consecutive duplicate symbols (a serial operation's REST
+/// request/response pairs and RPC call/reply pairs are adjacent in its
+/// correlation-restricted stream).
+fn dedup_consecutive(iter: impl Iterator<Item = ApiId>) -> Vec<ApiId> {
+    let mut out: Vec<ApiId> = Vec::new();
+    for api in iter {
+        if out.last() != Some(&api) {
+            out.push(api);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultMark;
+    use crate::fingerprint::FingerprintLibrary;
+    use gretel_model::{Catalog, Direction, HttpMethod, MessageId, NodeId, Service, Workflows};
+    use gretel_sim::Deployment;
+    use std::sync::Arc;
+
+    fn event(id: u64, api: ApiId, state_change: bool, is_rpc: bool) -> Event {
+        Event {
+            id: MessageId(id),
+            ts: id,
+            api,
+            direction: Direction::Request,
+            is_rpc,
+            state_change,
+            noise_api: false,
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            corr: None,
+            fault: FaultMark::None,
+        }
+    }
+
+    fn library() -> (Arc<Catalog>, FingerprintLibrary) {
+        let cat = Catalog::openstack();
+        let wf = Workflows::new(cat.clone());
+        let dep = Deployment::standard();
+        let specs = vec![
+            wf.vm_create_spec(gretel_model::OpSpecId(0)),
+            wf.image_upload_spec(gretel_model::OpSpecId(1)),
+            wf.cinder_list_spec(gretel_model::OpSpecId(2)),
+        ];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 17);
+        (cat, lib)
+    }
+
+    fn snapshot_from(events: Vec<Event>, fault_index: usize) -> Snapshot {
+        Snapshot { fault: events[fault_index], events, fault_index }
+    }
+
+    #[test]
+    fn detects_vm_create_from_ports_fault() {
+        let (cat, lib) = library();
+        let detector = Detector::new(&lib, GretelConfig { alpha: 16, ..Default::default() });
+        let spec_events: Vec<Event> = lib
+            .get(gretel_model::OpSpecId(0))
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                event(i as u64, a.api, cat.get(a.api).is_state_change(), cat.get(a.api).is_rpc())
+            })
+            .collect();
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let fault_index =
+            spec_events.iter().position(|e| e.api == ports_post).expect("ports step present");
+        // Operation aborted at the fault: nothing after it on the wire.
+        let events: Vec<Event> = spec_events[..=fault_index].to_vec();
+        let snap = snapshot_from(events, fault_index);
+
+        let out = detector.detect_operational_snapshot(&snap, ports_post);
+        assert_eq!(out.matched, vec![gretel_model::OpSpecId(0)]);
+        assert!((out.theta - 1.0).abs() < 1e-9);
+        assert!(out.candidates >= 1);
+    }
+
+    #[test]
+    fn unrelated_operation_does_not_match() {
+        let (cat, lib) = library();
+        let detector = Detector::new(&lib, GretelConfig { alpha: 16, ..Default::default() });
+        // Buffer holds only the image-upload sequence; fault on its PUT.
+        let put_file = cat.rest_expect(Service::Glance, HttpMethod::Put, "/v2/images/{id}/file");
+        let fp = lib.get(gretel_model::OpSpecId(1));
+        let events: Vec<Event> = fp
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                event(i as u64, a.api, cat.get(a.api).is_state_change(), cat.get(a.api).is_rpc())
+            })
+            .collect();
+        let fault_index = events.iter().position(|e| e.api == put_file).unwrap();
+        let snap = snapshot_from(events[..=fault_index].to_vec(), fault_index);
+        let out = detector.detect_operational_snapshot(&snap, put_file);
+        assert_eq!(out.matched, vec![gretel_model::OpSpecId(1)]);
+        // VM create is not even a candidate for the Glance PUT.
+        assert!(!out.matched.contains(&gretel_model::OpSpecId(0)));
+    }
+
+    #[test]
+    fn truncation_is_required_for_aborted_operations() {
+        let (cat, lib) = library();
+        // Without truncation, the full fingerprint (with steps after the
+        // fault) cannot be present in an aborted trace.
+        let cfg_no_trunc = GretelConfig { alpha: 16, truncate: false, ..Default::default() };
+        let detector = Detector::new(&lib, cfg_no_trunc);
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let fp = lib.get(gretel_model::OpSpecId(0));
+        let events: Vec<Event> = fp
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                event(i as u64, a.api, cat.get(a.api).is_state_change(), cat.get(a.api).is_rpc())
+            })
+            .collect();
+        let fault_index = events.iter().position(|e| e.api == ports_post).unwrap();
+        let truncated_events = events[..=fault_index].to_vec();
+        let snap = snapshot_from(truncated_events, fault_index);
+        let out = detector.detect_operational_snapshot(&snap, ports_post);
+        // The PUT attach after the fault never happened, so the
+        // untruncated literal sequence is absent.
+        assert!(out.matched.is_empty(), "ablation: no truncation → false negative");
+    }
+
+    #[test]
+    fn performance_detection_uses_full_fingerprints() {
+        let (cat, lib) = library();
+        let detector = Detector::new(&lib, GretelConfig { alpha: 32, ..Default::default() });
+        // Full successful vm-create trace; perf fault on the image GET.
+        let fp = lib.get(gretel_model::OpSpecId(0));
+        let events: Vec<Event> = fp
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                event(i as u64, a.api, cat.get(a.api).is_state_change(), cat.get(a.api).is_rpc())
+            })
+            .collect();
+        let image_get = cat.rest_expect(Service::Glance, HttpMethod::Get, "/v2/images/{id}");
+        let fault_index = events.iter().position(|e| e.api == image_get).unwrap();
+        let snap = snapshot_from(events, fault_index);
+        let out = detector.detect_performance(&snap.events, image_get);
+        assert!(out.matched.contains(&gretel_model::OpSpecId(0)));
+    }
+
+    #[test]
+    fn noise_events_are_excluded_from_buffers() {
+        let (cat, lib) = library();
+        let detector = Detector::new(&lib, GretelConfig { alpha: 16, ..Default::default() });
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let fp = lib.get(gretel_model::OpSpecId(0));
+        let mut events: Vec<Event> = Vec::new();
+        let noise_api = cat.noise_apis()[0];
+        for (i, a) in fp.atoms.iter().enumerate() {
+            // Interleave noise everywhere.
+            let mut n = event(1000 + i as u64, noise_api, false, true);
+            n.noise_api = true;
+            events.push(n);
+            events.push(event(
+                i as u64,
+                a.api,
+                cat.get(a.api).is_state_change(),
+                cat.get(a.api).is_rpc(),
+            ));
+        }
+        let fault_index = events.iter().position(|e| e.api == ports_post).unwrap();
+        let snap = snapshot_from(events[..=fault_index].to_vec(), fault_index);
+        let out = detector.detect_operational_snapshot(&snap, ports_post);
+        assert_eq!(out.matched, vec![gretel_model::OpSpecId(0)]);
+    }
+
+    #[test]
+    fn candidates_counts_api_error_baseline() {
+        let (cat, lib) = library();
+        let detector = Detector::new(&lib, GretelConfig { alpha: 16, ..Default::default() });
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let fault = event(0, ports_post, true, false);
+        let snap = snapshot_from(vec![fault], 0);
+        let out = detector.detect_operational_snapshot(&snap, ports_post);
+        assert_eq!(out.candidates, lib.candidates(ports_post).len());
+    }
+}

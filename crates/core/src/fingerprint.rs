@@ -1,0 +1,634 @@
+//! Operational fingerprints (Algorithm 1) and the fingerprint library.
+//!
+//! A fingerprint is the precise API sequence identifying one high-level
+//! administrative operation, learned offline by executing the operation
+//! repeatedly in a controlled setting, filtering noise from each trace,
+//! and intersecting the traces with the longest common subsequence. In the
+//! regex representation, state-change APIs (POST/PUT/DELETE and RPCs)
+//! become plain literals and everything else is starred (`X*`, optional):
+//! GRETEL's matching prioritises state-change symbols (§5.3.1).
+
+use crate::lcs::lcs;
+use crate::noise_filter::filter_noise;
+use gretel_model::{symbol, ApiId, Catalog, OpSpecId, OperationSpec};
+use gretel_sim::{Deployment, Execution, FaultPlan, RunConfig, Runner};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One element of a fingerprint's regex representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Atom {
+    /// The API.
+    pub api: ApiId,
+    /// Whether the atom is starred (`X*`): non-state-change APIs may be
+    /// missing from a snapshot without invalidating a match.
+    pub starred: bool,
+}
+
+/// The learned fingerprint of one operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fingerprint {
+    /// The operation this fingerprint identifies.
+    pub op: OpSpecId,
+    /// Ordered atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl Fingerprint {
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the fingerprint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Whether any atom references `api`.
+    pub fn contains(&self, api: ApiId) -> bool {
+        self.atoms.iter().any(|a| a.api == api)
+    }
+
+    /// The literal (state-change) sequence that must be present, in order,
+    /// for a relaxed match. With `prune_rpcs` (the §6 optimization) RPC
+    /// symbols are dropped from the pattern.
+    pub fn literals(&self, catalog: &Catalog, prune_rpcs: bool) -> Vec<ApiId> {
+        self.atoms
+            .iter()
+            .filter(|a| !a.starred)
+            .filter(|a| !(prune_rpcs && catalog.get(a.api).is_rpc()))
+            .map(|a| a.api)
+            .collect()
+    }
+
+    /// All atom APIs in order (for strict matching and set overlap).
+    pub fn api_seq(&self) -> Vec<ApiId> {
+        self.atoms.iter().map(|a| a.api).collect()
+    }
+
+    /// Number of atoms excluding RPCs (the "w/o RPC" fingerprint size of
+    /// Table 1).
+    pub fn len_without_rpcs(&self, catalog: &Catalog) -> usize {
+        self.atoms.iter().filter(|a| !catalog.get(a.api).is_rpc()).count()
+    }
+
+    /// Truncate at the **last** occurrence of `api` (inclusive) —
+    /// Algorithm 2's `TRUNCATE_OPERATION_FINGERPRINTS`. Returns `None`
+    /// when `api` is absent.
+    pub fn truncate_at_last(&self, api: ApiId) -> Option<Fingerprint> {
+        let idx = self.atoms.iter().rposition(|a| a.api == api)?;
+        Some(Fingerprint { op: self.op, atoms: self.atoms[..=idx].to_vec() })
+    }
+
+    /// Truncations at **every** occurrence of `api`. Algorithm 2 truncates
+    /// at the last occurrence, implicitly assuming the fault hit it; when
+    /// the same API appears several times in an operation the fault may
+    /// have hit an earlier one, so the detector considers every candidate
+    /// truncation point and keeps the best-matching.
+    pub fn truncate_at_each(&self, api: ApiId) -> Vec<Fingerprint> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.api == api)
+            .map(|(idx, _)| Fingerprint { op: self.op, atoms: self.atoms[..=idx].to_vec() })
+            .collect()
+    }
+
+    /// Bounded literal patterns centred on each occurrence of `api`:
+    /// for every occurrence, up to `k/2` literals before and after it.
+    /// Performance faults do not abort their operation, so the evidence
+    /// around the anomalous API extends in both directions (§5.3.1:
+    /// "GRETEL makes use of the entire context buffer"), but bounding the
+    /// pattern keeps long operations matchable within a finite window.
+    pub fn centered_literals(
+        &self,
+        catalog: &Catalog,
+        prune_rpcs: bool,
+        api: ApiId,
+        k: usize,
+    ) -> Vec<Vec<ApiId>> {
+        // Work over atom positions so starred anomalous APIs (reads) can
+        // anchor too; patterns keep only literal symbols.
+        let keep = |a: &Atom| {
+            !(a.starred || prune_rpcs && catalog.get(a.api).is_rpc())
+        };
+        let occurrences: Vec<usize> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|&(_, a)| a.api == api)
+            .map(|(i, _)| i)
+            .collect();
+        if occurrences.is_empty() {
+            return Vec::new();
+        }
+        let half = (k / 2).max(1);
+        occurrences
+            .into_iter()
+            .map(|pos| {
+                // Collect up to `half` literals on each side of the
+                // anchor atom (plus the anchor itself when literal).
+                let mut before: Vec<ApiId> = self.atoms[..pos]
+                    .iter()
+                    .rev()
+                    .filter(|a| keep(a))
+                    .take(half)
+                    .map(|a| a.api)
+                    .collect();
+                before.reverse();
+                let mut pattern = before;
+                if keep(&self.atoms[pos]) {
+                    pattern.push(self.atoms[pos].api);
+                }
+                pattern.extend(
+                    self.atoms[pos + 1..]
+                        .iter()
+                        .filter(|a| keep(a))
+                        .take(half)
+                        .map(|a| a.api),
+                );
+                pattern
+            })
+            .collect()
+    }
+
+    /// The Unicode regex string of the fingerprint (paper §6 encodes each
+    /// API as one Unicode symbol; starred atoms get `*`).
+    pub fn regex_string(&self) -> String {
+        let mut out = String::with_capacity(self.atoms.len() * 2);
+        for a in &self.atoms {
+            out.push(symbol::encode(a.api));
+            if a.starred {
+                out.push('*');
+            }
+        }
+        out
+    }
+}
+
+/// Algorithm 1: build a fingerprint from repeated execution traces.
+///
+/// Traces are API-id sequences (one id per invocation). They are sorted by
+/// length, noise-filtered, and intersected pairwise by LCS; the surviving
+/// sequence becomes the atoms, starred according to state-change priority.
+pub fn generate_fingerprint(
+    catalog: &Catalog,
+    op: OpSpecId,
+    traces: &[Vec<ApiId>],
+) -> Fingerprint {
+    assert!(!traces.is_empty(), "need at least one trace");
+    let mut sorted: Vec<&Vec<ApiId>> = traces.iter().collect();
+    sorted.sort_by_key(|t| t.len());
+
+    let mut f = filter_noise(catalog, sorted[0]);
+    for t in &sorted[1..] {
+        let filtered = filter_noise(catalog, t);
+        f = lcs(&f, &filtered);
+    }
+    let atoms = f
+        .into_iter()
+        .map(|api| Atom { api, starred: !catalog.get(api).is_state_change() })
+        .collect();
+    Fingerprint { op, atoms }
+}
+
+/// The library of all learned fingerprints, indexed for candidate lookup.
+#[derive(Debug, Clone)]
+pub struct FingerprintLibrary {
+    catalog: Arc<Catalog>,
+    fps: Vec<Fingerprint>,
+    by_api: HashMap<ApiId, Vec<OpSpecId>>,
+    fp_max: usize,
+}
+
+impl FingerprintLibrary {
+    /// Build from per-operation trace sets.
+    pub fn from_traces(
+        catalog: Arc<Catalog>,
+        traces: Vec<(OpSpecId, Vec<Vec<ApiId>>)>,
+    ) -> FingerprintLibrary {
+        let mut fps = Vec::with_capacity(traces.len());
+        for (i, (op, trace_set)) in traces.into_iter().enumerate() {
+            assert_eq!(op.index(), i, "fingerprints must be supplied in dense id order");
+            fps.push(generate_fingerprint(&catalog, op, &trace_set));
+        }
+        Self::index(catalog, fps)
+    }
+
+    fn index(catalog: Arc<Catalog>, fps: Vec<Fingerprint>) -> FingerprintLibrary {
+        let mut by_api: HashMap<ApiId, Vec<OpSpecId>> = HashMap::new();
+        let mut fp_max = 0;
+        for fp in &fps {
+            fp_max = fp_max.max(fp.len());
+            let mut seen = std::collections::HashSet::new();
+            for a in &fp.atoms {
+                if seen.insert(a.api) {
+                    by_api.entry(a.api).or_default().push(fp.op);
+                }
+            }
+        }
+        FingerprintLibrary { catalog, fps, by_api, fp_max }
+    }
+
+    /// Offline characterization (§7.1): execute every spec `runs` times in
+    /// isolation on `deployment` (noise enabled — the filter must earn its
+    /// keep) and learn its fingerprint. Returns the library plus the raw
+    /// event counts per operation (for Table 1's Events columns).
+    pub fn characterize(
+        catalog: Arc<Catalog>,
+        specs: &[OperationSpec],
+        deployment: &Deployment,
+        runs: usize,
+        seed: u64,
+    ) -> (FingerprintLibrary, Vec<CharacterizationStats>) {
+        assert!(runs >= 1);
+        let plan = FaultPlan::none();
+        let mut all_traces = Vec::with_capacity(specs.len());
+        let mut stats = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.id.index(), i, "specs must be in dense id order");
+            let mut traces = Vec::with_capacity(runs);
+            let mut rest_events = 0usize;
+            let mut rpc_events = 0usize;
+            for r in 0..runs {
+                let cfg = RunConfig {
+                    seed: seed ^ ((i as u64) << 20) ^ r as u64,
+                    start_window: 0,
+                    ..RunConfig::default()
+                };
+                let exec = Runner::new(catalog.clone(), deployment, &plan, cfg).run(&[spec]);
+                traces.push(trace_of(&exec));
+                for m in &exec.messages {
+                    if m.wire.is_rpc() {
+                        rpc_events += 1;
+                    } else {
+                        rest_events += 1;
+                    }
+                }
+            }
+            stats.push(CharacterizationStats {
+                op: spec.id,
+                rest_events,
+                rpc_events,
+            });
+            all_traces.push((spec.id, traces));
+        }
+        (Self::from_traces(catalog, all_traces), stats)
+    }
+
+    /// Incrementally learn fingerprints for newly introduced operations
+    /// (paper Limitation 7: "Enhancements to OpenStack or its APIs require
+    /// building additional fingerprints for the newly introduced
+    /// operations" — no full retraining needed). `specs` must continue the
+    /// dense id space.
+    pub fn extend_characterize(
+        &mut self,
+        specs: &[OperationSpec],
+        deployment: &Deployment,
+        runs: usize,
+        seed: u64,
+    ) -> Vec<CharacterizationStats> {
+        assert!(runs >= 1);
+        let plan = FaultPlan::none();
+        let mut stats = Vec::with_capacity(specs.len());
+        for (j, spec) in specs.iter().enumerate() {
+            assert_eq!(
+                spec.id.index(),
+                self.fps.len(),
+                "new specs must continue the dense id space"
+            );
+            let mut traces = Vec::with_capacity(runs);
+            let mut rest_events = 0usize;
+            let mut rpc_events = 0usize;
+            for r in 0..runs {
+                let cfg = RunConfig {
+                    seed: seed ^ ((j as u64) << 24) ^ r as u64,
+                    start_window: 0,
+                    ..RunConfig::default()
+                };
+                let exec =
+                    Runner::new(self.catalog.clone(), deployment, &plan, cfg).run(&[spec]);
+                traces.push(trace_of(&exec));
+                for m in &exec.messages {
+                    if m.wire.is_rpc() {
+                        rpc_events += 1;
+                    } else {
+                        rest_events += 1;
+                    }
+                }
+            }
+            let fp = generate_fingerprint(&self.catalog, spec.id, &traces);
+            self.fp_max = self.fp_max.max(fp.len());
+            let mut seen = std::collections::HashSet::new();
+            for a in &fp.atoms {
+                if seen.insert(a.api) {
+                    self.by_api.entry(a.api).or_default().push(fp.op);
+                }
+            }
+            self.fps.push(fp);
+            stats.push(CharacterizationStats { op: spec.id, rest_events, rpc_events });
+        }
+        stats
+    }
+
+    /// The fingerprint of `op`.
+    pub fn get(&self, op: OpSpecId) -> &Fingerprint {
+        &self.fps[op.index()]
+    }
+
+    /// All fingerprints.
+    pub fn iter(&self) -> impl Iterator<Item = &Fingerprint> {
+        self.fps.iter()
+    }
+
+    /// Number of fingerprints (the `N` in θ).
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+
+    /// Operations whose fingerprint contains `api`
+    /// (`Get_Possible_Offending_Operations`).
+    pub fn candidates(&self, api: ApiId) -> &[OpSpecId] {
+        self.by_api.get(&api).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Size of the largest fingerprint (the `FPmax` in α).
+    pub fn fp_max(&self) -> usize {
+        self.fp_max
+    }
+
+    /// The catalog fingerprints refer into.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Serialize the learned fingerprints to JSON. The catalog itself is
+    /// not serialized — it is a deterministic build
+    /// ([`Catalog::openstack`]) and the API ids in the fingerprints refer
+    /// into it — so characterization can run once and ship its artifact to
+    /// every analyzer instance (the paper: fingerprint generation "is an
+    /// offline process … independent of the scale of the deployment").
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.fps).expect("fingerprints serialize")
+    }
+
+    /// Load fingerprints produced by [`FingerprintLibrary::to_json`]
+    /// against a catalog. Fails on malformed JSON, non-dense operation
+    /// ids, or API ids outside the catalog.
+    pub fn from_json(catalog: Arc<Catalog>, json: &str) -> Result<FingerprintLibrary, String> {
+        let fps: Vec<Fingerprint> =
+            serde_json::from_str(json).map_err(|e| format!("bad fingerprint JSON: {e}"))?;
+        for (i, fp) in fps.iter().enumerate() {
+            if fp.op.index() != i {
+                return Err(format!("fingerprint {i} has id {} (must be dense)", fp.op));
+            }
+            for atom in &fp.atoms {
+                if atom.api.index() >= catalog.len() {
+                    return Err(format!("fingerprint {i}: unknown API {}", atom.api));
+                }
+            }
+        }
+        Ok(Self::index(catalog, fps))
+    }
+}
+
+/// Raw event counts observed while characterizing one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharacterizationStats {
+    /// The operation.
+    pub op: OpSpecId,
+    /// REST messages captured across all characterization runs.
+    pub rest_events: usize,
+    /// RPC messages captured across all characterization runs.
+    pub rpc_events: usize,
+}
+
+/// Extract the invocation trace (API id per request message, in order)
+/// from an execution.
+pub fn trace_of(exec: &Execution) -> Vec<ApiId> {
+    exec.messages
+        .iter()
+        .filter(|m| m.direction == gretel_model::Direction::Request)
+        .map(|m| m.api)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gretel_model::{HttpMethod, Service, Workflows};
+
+    fn setup() -> (Arc<Catalog>, Workflows, Deployment) {
+        let cat = Catalog::openstack();
+        let wf = Workflows::new(cat.clone());
+        (cat.clone(), wf, Deployment::standard())
+    }
+
+    #[test]
+    fn vm_create_fingerprint_matches_spec_and_stars_gets() {
+        let (cat, wf, dep) = setup();
+        let spec = wf.vm_create_spec(OpSpecId(0));
+        let (lib, stats) =
+            FingerprintLibrary::characterize(cat.clone(), std::slice::from_ref(&spec), &dep, 3, 7);
+        let fp = lib.get(OpSpecId(0));
+        // Noise filtered, all real steps survive (no repeated GETs in the
+        // canonical flow).
+        assert_eq!(fp.api_seq(), spec.api_seq());
+        // GETs starred, POST/PUT/RPCs literal.
+        for atom in &fp.atoms {
+            assert_eq!(atom.starred, !cat.get(atom.api).is_state_change());
+        }
+        assert!(stats[0].rest_events > 0);
+        assert!(stats[0].rpc_events > 0);
+    }
+
+    #[test]
+    fn noise_never_survives_into_fingerprints() {
+        let (cat, wf, dep) = setup();
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.image_upload_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 3, 9);
+        for fp in lib.iter() {
+            for atom in &fp.atoms {
+                assert!(!cat.is_noise(atom.api));
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_prefix_through_last_occurrence() {
+        let (cat, ..) = setup();
+        let post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let get = cat.rest_expect(Service::Neutron, HttpMethod::Get, "/v2.0/networks.json");
+        let fp = Fingerprint {
+            op: OpSpecId(0),
+            atoms: vec![
+                Atom { api: get, starred: true },
+                Atom { api: post, starred: false },
+                Atom { api: get, starred: true },
+                Atom { api: post, starred: false },
+                Atom { api: get, starred: true },
+            ],
+        };
+        let t = fp.truncate_at_last(post).unwrap();
+        assert_eq!(t.len(), 4, "prefix through the LAST occurrence, inclusive");
+        assert_eq!(t.atoms.last().unwrap().api, post);
+        assert!(fp.truncate_at_last(ApiId(9999)).is_none());
+    }
+
+    #[test]
+    fn literals_respect_rpc_pruning() {
+        let (cat, wf, dep) = setup();
+        let spec = wf.vm_create_spec(OpSpecId(0));
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &[spec], &dep, 2, 1);
+        let fp = lib.get(OpSpecId(0));
+        let with_rpc = fp.literals(&cat, false);
+        let without = fp.literals(&cat, true);
+        assert!(with_rpc.len() > without.len());
+        assert!(without.iter().all(|&a| !cat.get(a).is_rpc()));
+    }
+
+    #[test]
+    fn candidates_index_covers_every_atom() {
+        let (cat, wf, dep) = setup();
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.cinder_list_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat, &specs, &dep, 2, 3);
+        for fp in lib.iter() {
+            for atom in &fp.atoms {
+                assert!(lib.candidates(atom.api).contains(&fp.op));
+            }
+        }
+        assert!(lib.candidates(ApiId(9999)).is_empty());
+    }
+
+    /// A spec with repeated GETs so the noise filter has something to do.
+    fn vm_snapshot_specish(wf: &Workflows) -> OperationSpec {
+        OperationSpec {
+            id: OpSpecId(0),
+            name: "test.vm_snapshot_like".into(),
+            category: gretel_model::Category::Compute,
+            steps: {
+                let mut steps = wf.vm_create();
+                steps.extend(wf.vm_snapshot());
+                steps
+            },
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_subsequence_of_every_filtered_trace() {
+        let (cat, wf, dep) = setup();
+        let spec = vm_snapshot_specish(&wf);
+        let plan = FaultPlan::none();
+        let mut traces = Vec::new();
+        for r in 0..4 {
+            let cfg = RunConfig { seed: r, start_window: 0, ..RunConfig::default() };
+            let exec = Runner::new(cat.clone(), &dep, &plan, cfg).run(&[&spec]);
+            traces.push(trace_of(&exec));
+        }
+        let fp = generate_fingerprint(&cat, OpSpecId(0), &traces);
+        for t in &traces {
+            let filtered = crate::noise_filter::filter_noise(&cat, t);
+            assert!(
+                crate::lcs::is_subsequence(&fp.api_seq(), &filtered),
+                "fingerprint must embed in every filtered trace"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_string_has_stars_on_reads() {
+        let (cat, wf, dep) = setup();
+        let (lib, _) =
+            FingerprintLibrary::characterize(cat, &[wf.vm_create_spec(OpSpecId(0))], &dep, 2, 5);
+        let s = lib.get(OpSpecId(0)).regex_string();
+        assert!(s.contains('*'));
+        assert!(s.chars().count() > lib.get(OpSpecId(0)).len());
+    }
+
+    #[test]
+    fn extend_characterize_adds_new_operations_incrementally() {
+        let (cat, wf, dep) = setup();
+        let initial = vec![wf.vm_create_spec(OpSpecId(0))];
+        let (mut lib, _) = FingerprintLibrary::characterize(cat.clone(), &initial, &dep, 2, 3);
+        assert_eq!(lib.len(), 1);
+
+        // A new operation ships with the next OpenStack release.
+        let new_spec = {
+            let mut s = wf.image_upload_spec(OpSpecId(1));
+            s.name = "image.upload.newly_added".into();
+            s
+        };
+        let stats = lib.extend_characterize(std::slice::from_ref(&new_spec), &dep, 2, 9);
+        assert_eq!(lib.len(), 2);
+        assert_eq!(stats.len(), 1);
+        // The new fingerprint is indexed: its APIs resolve candidates.
+        let fp = lib.get(OpSpecId(1)).clone();
+        assert!(!fp.is_empty());
+        for atom in &fp.atoms {
+            assert!(lib.candidates(atom.api).contains(&OpSpecId(1)));
+        }
+        // And the incremental result equals a from-scratch build.
+        let both = vec![initial[0].clone(), new_spec];
+        let (fresh, _) = FingerprintLibrary::characterize(cat, &both, &dep, 2, 9);
+        assert_eq!(fresh.get(OpSpecId(1)).api_seq(), fp.api_seq());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense id space")]
+    fn extend_rejects_id_gaps() {
+        let (cat, wf, dep) = setup();
+        let initial = vec![wf.vm_create_spec(OpSpecId(0))];
+        let (mut lib, _) = FingerprintLibrary::characterize(cat, &initial, &dep, 1, 3);
+        let bad = wf.cinder_list_spec(OpSpecId(5));
+        lib.extend_characterize(&[bad], &dep, 1, 3);
+    }
+
+    #[test]
+    fn library_round_trips_through_json() {
+        let (cat, wf, dep) = setup();
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.cinder_list_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 3);
+        let json = lib.to_json();
+        let restored = FingerprintLibrary::from_json(cat, &json).expect("round trip");
+        assert_eq!(restored.len(), lib.len());
+        assert_eq!(restored.fp_max(), lib.fp_max());
+        for i in 0..lib.len() {
+            let op = OpSpecId(i as u16);
+            assert_eq!(restored.get(op), lib.get(op));
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        let (cat, ..) = setup();
+        assert!(FingerprintLibrary::from_json(cat.clone(), "not json").is_err());
+        // Non-dense ids.
+        let fp = Fingerprint { op: OpSpecId(5), atoms: vec![] };
+        let json = serde_json::to_string(&vec![fp]).unwrap();
+        assert!(FingerprintLibrary::from_json(cat.clone(), &json)
+            .unwrap_err()
+            .contains("dense"));
+        // Unknown API id.
+        let fp = Fingerprint {
+            op: OpSpecId(0),
+            atoms: vec![Atom { api: ApiId(u16::MAX), starred: false }],
+        };
+        let json = serde_json::to_string(&vec![fp]).unwrap();
+        assert!(FingerprintLibrary::from_json(cat, &json).unwrap_err().contains("unknown API"));
+    }
+
+    #[test]
+    fn fp_max_tracks_largest() {
+        let (cat, wf, dep) = setup();
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.cinder_list_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat, &specs, &dep, 2, 3);
+        assert_eq!(lib.fp_max(), lib.iter().map(|f| f.len()).max().unwrap());
+    }
+}

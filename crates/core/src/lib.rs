@@ -1,0 +1,51 @@
+//! # gretel-core — the GRETEL fault localization system
+//!
+//! A from-scratch Rust implementation of GRETEL (CoNEXT '16): lightweight
+//! fault localization for OpenStack using operational fingerprints learned
+//! from integration tests and passively captured REST/RPC traffic.
+//!
+//! Pipeline (paper Fig 3):
+//!
+//! * offline: [`fingerprint`] learns one fingerprint per operation
+//!   (Algorithm 1 — noise filtering via [`noise_filter`], trace
+//!   intersection via [`lcs`]);
+//! * online: [`analyzer`] scans payload bytes for errors ([`anomaly`]),
+//!   pairs latencies and feeds level-shift detectors ([`perf`]), keeps the
+//!   dual-buffer sliding window ([`window`]), detects the faulty operation
+//!   (Algorithm 2 — [`detect`] + [`matcher`]) and runs root cause
+//!   analysis (Algorithm 3 — [`rca`]);
+//! * [`config`] holds the paper's thresholds (α, β, δ, c1, c2) and the
+//!   precision metric θ; [`report`] renders diagnoses.
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod anomaly;
+pub mod config;
+pub mod detect;
+pub mod event;
+pub mod explain;
+pub mod fingerprint;
+pub mod lcs;
+pub mod matcher;
+pub mod noise_filter;
+pub mod perf;
+pub mod rca;
+pub mod report;
+pub mod service;
+pub mod window;
+
+pub use analyzer::{analyze_stream, Analyzer, AnalyzerStats, RcaContext};
+pub use anomaly::{scan_rest_error, scan_rpc_error, LatencyObs, LatencyPairer};
+pub use config::{theta, GretelConfig};
+pub use detect::{DetectionOutcome, Detector};
+pub use event::{Event, FaultMark};
+pub use explain::{LiteralMatch, MatchExplanation};
+pub use fingerprint::{
+    generate_fingerprint, trace_of, Atom, CharacterizationStats, Fingerprint, FingerprintLibrary,
+};
+pub use perf::{PerfFault, PerfMonitor};
+pub use rca::{CauseKind, RcaEngine, RootCause};
+pub use report::{Diagnosis, FaultKind};
+pub use service::{run_service, ServiceStats};
+pub use window::{SlidingWindow, Snapshot};

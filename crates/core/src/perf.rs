@@ -1,0 +1,151 @@
+//! Performance-fault monitoring.
+//!
+//! Latency observations (from [`crate::anomaly::LatencyPairer`]) are
+//! grouped per API and fed to an online level-shift detector each
+//! (§5.3: "GRETEL leverages available online outlier detection tools to
+//! detect performance faults"; §6 uses the LS mode of `tsoutliers`). A
+//! confirmed shift becomes a [`PerfFault`], which the analyzer treats like
+//! an anomaly: snapshot, operation detection with *untruncated*
+//! fingerprints, then root cause analysis.
+
+use crate::anomaly::LatencyObs;
+use gretel_model::ApiId;
+use gretel_telemetry::{Anomaly, LevelShiftConfig, LevelShiftDetector, OutlierDetector};
+use std::collections::HashMap;
+
+/// Factory producing one detector per monitored API. Defaults to the
+/// adaptive level-shift detector; any [`OutlierDetector`] can be plugged
+/// in (paper §6: "outlier detection in GRETEL is pluggable").
+pub type DetectorFactory = Box<dyn Fn() -> Box<dyn OutlierDetector + Send> + Send>;
+
+/// A confirmed per-API latency anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfFault {
+    /// The API whose latency shifted.
+    pub api: ApiId,
+    /// The underlying level-shift anomaly (times in µs).
+    pub anomaly: Anomaly,
+}
+
+/// Per-API latency monitoring.
+pub struct PerfMonitor {
+    factory: DetectorFactory,
+    detectors: HashMap<ApiId, Box<dyn OutlierDetector + Send>>,
+    history: HashMap<ApiId, Vec<(u64, f64)>>,
+    keep_history: bool,
+}
+
+impl PerfMonitor {
+    /// New monitor with the default level-shift detector; `keep_history`
+    /// retains the raw latency series per API (needed to plot Fig 6 /
+    /// Fig 8b, off for throughput runs).
+    pub fn new(cfg: LevelShiftConfig, keep_history: bool) -> PerfMonitor {
+        Self::with_factory(
+            Box::new(move || Box::new(LevelShiftDetector::new(cfg))),
+            keep_history,
+        )
+    }
+
+    /// New monitor with a custom detector factory.
+    pub fn with_factory(factory: DetectorFactory, keep_history: bool) -> PerfMonitor {
+        PerfMonitor { factory, detectors: HashMap::new(), history: HashMap::new(), keep_history }
+    }
+
+    /// Feed one latency observation.
+    pub fn observe(&mut self, obs: LatencyObs) -> Option<PerfFault> {
+        if self.keep_history {
+            self.history.entry(obs.api).or_default().push((obs.ts, obs.latency_us as f64));
+        }
+        let det = self.detectors.entry(obs.api).or_insert_with(&self.factory);
+        det.update(obs.ts, obs.latency_us as f64)
+            .map(|anomaly| PerfFault { api: obs.api, anomaly })
+    }
+
+    /// Raw latency series collected for `api` (empty unless history is
+    /// kept).
+    pub fn history(&self, api: ApiId) -> &[(u64, f64)] {
+        self.history.get(&api).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of APIs currently tracked.
+    pub fn tracked_apis(&self) -> usize {
+        self.detectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(api: u16, ts: u64, latency_ms: f64) -> LatencyObs {
+        LatencyObs { api: ApiId(api), ts, latency_us: (latency_ms * 1000.0) as u64 }
+    }
+
+    #[test]
+    fn latency_shift_raises_perf_fault() {
+        let mut mon = PerfMonitor::new(LevelShiftConfig::default(), false);
+        let mut faults = Vec::new();
+        for i in 0..100 {
+            if let Some(f) = mon.observe(obs(1, i, 25.0 + (i % 3) as f64)) {
+                faults.push(f);
+            }
+        }
+        for i in 100..200 {
+            if let Some(f) = mon.observe(obs(1, i, 125.0 + (i % 3) as f64)) {
+                faults.push(f);
+            }
+        }
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].api, ApiId(1));
+    }
+
+    #[test]
+    fn apis_are_tracked_independently() {
+        let mut mon = PerfMonitor::new(LevelShiftConfig::default(), false);
+        // API 1 shifts, API 2 stays flat.
+        let mut faults = Vec::new();
+        for i in 0..200 {
+            let l1 = if i < 100 { 25.0 } else { 125.0 };
+            if let Some(f) = mon.observe(obs(1, i, l1)) {
+                faults.push(f);
+            }
+            if let Some(f) = mon.observe(obs(2, i, 10.0)) {
+                faults.push(f);
+            }
+        }
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].api, ApiId(1));
+        assert_eq!(mon.tracked_apis(), 2);
+    }
+
+    #[test]
+    fn custom_detector_factory_is_honored() {
+        use gretel_telemetry::EwmaDetector;
+        let mut mon = PerfMonitor::with_factory(
+            Box::new(|| Box::new(EwmaDetector::default())),
+            false,
+        );
+        let mut alarms = 0;
+        for i in 0..200 {
+            let l = if i < 100 { 25.0 } else { 250.0 };
+            if mon.observe(obs(1, i, l)).is_some() {
+                alarms += 1;
+            }
+        }
+        assert!(alarms >= 1, "EWMA plug-in detects the shift");
+    }
+
+    #[test]
+    fn history_is_kept_when_requested() {
+        let mut mon = PerfMonitor::new(LevelShiftConfig::default(), true);
+        for i in 0..10 {
+            mon.observe(obs(3, i, 5.0));
+        }
+        assert_eq!(mon.history(ApiId(3)).len(), 10);
+        assert!(mon.history(ApiId(4)).is_empty());
+
+        let mut quiet = PerfMonitor::new(LevelShiftConfig::default(), false);
+        quiet.observe(obs(3, 0, 5.0));
+        assert!(quiet.history(ApiId(3)).is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Diagnosis reports.
+//!
+//! The analyzer's output for one fault: what kind of fault, which
+//! high-level administrative operations matched (and with what precision
+//! θ), and the root causes found. This is the artifact the paper's case
+//! studies (§7.2) hand to the operator.
+
+use crate::rca::RootCause;
+use gretel_model::{ApiId, OpSpecId, OperationSpec};
+use gretel_sim::SimTime;
+
+/// Kind of diagnosed fault.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub enum FaultKind {
+    /// API error response.
+    Operational {
+        /// HTTP status (REST errors).
+        status: Option<u16>,
+        /// Whether the error arrived in an RPC message.
+        rpc: bool,
+    },
+    /// Anomalous API latency (level shift).
+    Performance {
+        /// Observed (shifted) latency, ms.
+        observed_ms: f64,
+        /// Pre-shift baseline latency, ms.
+        baseline_ms: f64,
+    },
+}
+
+/// One complete diagnosis.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Diagnosis {
+    /// Fault classification.
+    pub kind: FaultKind,
+    /// The offending API.
+    pub api: ApiId,
+    /// Time of the fault.
+    pub ts: SimTime,
+    /// Operations matched by the snapshot (the failed high-level task).
+    pub matched: Vec<OpSpecId>,
+    /// Precision θ of the match.
+    pub theta: f64,
+    /// Context-buffer size used.
+    pub beta_used: usize,
+    /// Candidate operations before snapshot matching ("with API error"
+    /// baseline).
+    pub candidates: usize,
+    /// Root causes, most relevant first.
+    pub root_causes: Vec<RootCause>,
+}
+
+impl Diagnosis {
+    /// Whether the diagnosis narrowed the fault to exactly one operation.
+    pub fn is_precise(&self) -> bool {
+        self.matched.len() == 1
+    }
+
+    /// Render a human-readable report. `specs` resolves operation names;
+    /// pass the suite the library was trained on.
+    pub fn render(&self, specs: &[OperationSpec]) -> String {
+        let mut out = String::new();
+        match &self.kind {
+            FaultKind::Operational { status, rpc } => {
+                out.push_str(&format!(
+                    "OPERATIONAL fault at t={:.3}s on {} ({})\n",
+                    self.ts as f64 / 1e6,
+                    self.api,
+                    match (status, rpc) {
+                        (Some(s), _) => format!("HTTP {s}"),
+                        (None, true) => "RPC exception".to_string(),
+                        (None, false) => "error".to_string(),
+                    }
+                ));
+            }
+            FaultKind::Performance { observed_ms, baseline_ms } => {
+                out.push_str(&format!(
+                    "PERFORMANCE fault at t={:.3}s on {}: latency {:.1} ms (baseline {:.1} ms)\n",
+                    self.ts as f64 / 1e6,
+                    self.api,
+                    observed_ms,
+                    baseline_ms
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "  matched {} operation(s), theta={:.4}, context={} msgs:\n",
+            self.matched.len(),
+            self.theta,
+            self.beta_used
+        ));
+        for op in &self.matched {
+            let name = specs
+                .get(op.index())
+                .map(|s| s.name.as_str())
+                .unwrap_or("<unknown>");
+            out.push_str(&format!("    - {name} ({op})\n"));
+        }
+        if self.root_causes.is_empty() {
+            out.push_str("  root cause: none identified\n");
+        } else {
+            for rc in &self.root_causes {
+                out.push_str(&format!("  root cause on {}: {}\n", rc.node, rc.why));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rca::CauseKind;
+    use gretel_model::{Category, Dependency, NodeId, Service};
+
+    fn spec(name: &str) -> OperationSpec {
+        OperationSpec {
+            id: OpSpecId(0),
+            name: name.into(),
+            category: Category::Compute,
+            steps: vec![],
+        }
+    }
+
+    #[test]
+    fn render_operational() {
+        let d = Diagnosis {
+            kind: FaultKind::Operational { status: Some(413), rpc: false },
+            api: ApiId(5),
+            ts: 1_500_000,
+            matched: vec![OpSpecId(0)],
+            theta: 1.0,
+            beta_used: 77,
+            candidates: 12,
+            root_causes: vec![RootCause {
+                node: NodeId(2),
+                cause: CauseKind::Dependency(Dependency::ServiceProcess(Service::Glance)),
+                why: "glance-service reported down".into(),
+            }],
+        };
+        let s = d.render(&[spec("image.upload.canonical")]);
+        assert!(s.contains("OPERATIONAL"));
+        assert!(s.contains("HTTP 413"));
+        assert!(s.contains("image.upload.canonical"));
+        assert!(s.contains("glance-service reported down"));
+        assert!(d.is_precise());
+    }
+
+    #[test]
+    fn render_performance_without_cause() {
+        let d = Diagnosis {
+            kind: FaultKind::Performance { observed_ms: 130.0, baseline_ms: 28.0 },
+            api: ApiId(9),
+            ts: 0,
+            matched: vec![],
+            theta: 0.5,
+            beta_used: 768,
+            candidates: 3,
+            root_causes: vec![],
+        };
+        let s = d.render(&[]);
+        assert!(s.contains("PERFORMANCE"));
+        assert!(s.contains("130.0 ms"));
+        assert!(s.contains("none identified"));
+        assert!(!d.is_precise());
+    }
+}

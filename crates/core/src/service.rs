@@ -1,0 +1,166 @@
+//! The distributed monitoring service (paper Fig 3), threaded.
+//!
+//! One capture-agent thread per node encodes its egress traffic into
+//! frames and ships them over a bounded channel; the event receiver
+//! performs a k-way merge (each agent's stream is in timestamp order, like
+//! a TCP stream from Bro preserves order, §5.2), decodes frames, and
+//! drives the [`Analyzer`]. This is the deployment shape the §7.4.2
+//! overhead experiment measures.
+
+use crate::analyzer::{Analyzer, AnalyzerStats};
+use crate::report::Diagnosis;
+use bytes::Bytes;
+use crossbeam_channel::{bounded, Receiver};
+use gretel_model::{Message, NodeId};
+use gretel_netcap::{decode_one, CaptureAgent};
+
+/// Transport-level statistics from one service run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Frames shipped agent → analyzer.
+    pub frames: u64,
+    /// Encoded bytes shipped.
+    pub bytes: u64,
+}
+
+/// Run the full agents → receiver → analyzer pipeline over a captured
+/// traffic log, returning all diagnoses plus transport and analyzer
+/// statistics.
+///
+/// `channel_capacity` bounds each agent link (back-pressure, like the TCP
+/// connections in the paper's deployment).
+pub fn run_service(
+    analyzer: &mut Analyzer<'_>,
+    nodes: &[NodeId],
+    traffic: &[Message],
+    channel_capacity: usize,
+) -> (Vec<Diagnosis>, ServiceStats, AnalyzerStats) {
+    assert!(channel_capacity > 0);
+    let mut service_stats = ServiceStats::default();
+    let mut diagnoses = Vec::new();
+
+    std::thread::scope(|scope| {
+        // One bounded link per agent.
+        let mut rxs: Vec<Receiver<Bytes>> = Vec::with_capacity(nodes.len());
+        for &node in nodes {
+            let (tx, rx) = bounded::<Bytes>(channel_capacity);
+            rxs.push(rx);
+            let agent = CaptureAgent::new(node);
+            scope.spawn(move || {
+                for msg in traffic {
+                    if agent.observes(msg) {
+                        let frame = gretel_netcap::encode(msg);
+                        if tx.send(frame).is_err() {
+                            return; // receiver gone
+                        }
+                    }
+                }
+                // tx drops here, closing the stream.
+            });
+        }
+
+        // Event receiver: k-way merge on (ts, id). Each stream is already
+        // ordered, so we only compare stream heads.
+        let mut heads: Vec<Option<Message>> = Vec::with_capacity(rxs.len());
+        for rx in &rxs {
+            heads.push(recv_decode(rx, &mut service_stats));
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, h) in heads.iter().enumerate() {
+                if let Some(m) = h {
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let bm = heads[b].as_ref().expect("best is Some");
+                            (m.ts_us, m.id) < (bm.ts_us, bm.id)
+                        }
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            let msg = heads[i].take().expect("chosen head is Some");
+            heads[i] = recv_decode(&rxs[i], &mut service_stats);
+            diagnoses.extend(analyzer.process(&msg));
+        }
+    });
+
+    diagnoses.extend(analyzer.finish());
+    let analyzer_stats = analyzer.stats();
+    (diagnoses, service_stats, analyzer_stats)
+}
+
+fn recv_decode(rx: &Receiver<Bytes>, stats: &mut ServiceStats) -> Option<Message> {
+    let frame = rx.recv().ok()?;
+    stats.frames += 1;
+    stats.bytes += frame.len() as u64;
+    Some(decode_one(&frame).expect("agent frames decode"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GretelConfig;
+    use crate::fingerprint::FingerprintLibrary;
+    use gretel_model::{Catalog, HttpMethod, OpSpecId, OperationSpec, Service, Workflows};
+    use gretel_sim::{
+        ApiFault, Deployment, FaultPlan, FaultScope, InjectedError, RunConfig, Runner,
+    };
+
+    #[test]
+    fn threaded_pipeline_matches_inline_analysis() {
+        let cat = Catalog::openstack();
+        let dep = Deployment::standard();
+        let wf = Workflows::new(cat.clone());
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.image_upload_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 21);
+
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: ports_post,
+            scope: FaultScope::AllInstances,
+            occurrence: 0,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(cat.clone(), &dep, &plan, RunConfig { seed: 2, ..Default::default() })
+            .run(&refs);
+
+        let gcfg = GretelConfig { alpha: 64, ..GretelConfig::default() };
+
+        // Inline reference.
+        let mut inline = Analyzer::new(&lib, gcfg);
+        let expected = crate::analyzer::analyze_stream(&mut inline, exec.messages.iter());
+
+        // Threaded pipeline.
+        let nodes: Vec<NodeId> = dep.nodes().iter().map(|n| n.id).collect();
+        let mut threaded = Analyzer::new(&lib, gcfg);
+        let (got, svc, astats) = run_service(&mut threaded, &nodes, &exec.messages, 64);
+
+        assert_eq!(got, expected, "threaded pipeline must be semantically identical");
+        assert!(svc.frames > 0);
+        assert!(svc.bytes > 0);
+        // Relevance filter may drop MySQL/NTP traffic; everything relevant
+        // is processed exactly once.
+        assert!(astats.messages as usize <= exec.messages.len());
+        assert_eq!(astats.messages, svc.frames);
+    }
+
+    #[test]
+    fn empty_traffic_is_fine() {
+        let cat = Catalog::openstack();
+        let dep = Deployment::standard();
+        let wf = Workflows::new(cat.clone());
+        let specs = vec![wf.vm_create_spec(OpSpecId(0))];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 1, 1);
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 8, ..Default::default() });
+        let nodes: Vec<NodeId> = dep.nodes().iter().map(|n| n.id).collect();
+        let (diags, svc, _) = run_service(&mut analyzer, &nodes, &[], 4);
+        assert!(diags.is_empty());
+        assert_eq!(svc.frames, 0);
+    }
+}

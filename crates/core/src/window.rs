@@ -1,0 +1,269 @@
+//! The dual-buffer sliding window (§5.3.1, §6).
+//!
+//! GRETEL keeps the last α messages in a ring. When a REST error is
+//! detected, the window is "frozen": GRETEL slides ahead by α/2 messages
+//! and waits for the event receiver to fill the remaining α/2, so the
+//! resulting snapshot holds both the past and the future of the faulty
+//! message. The §6 dual-buffer optimization — two pointers separated by α
+//! messages with a freeze between them — is exactly what the ring +
+//! armed-fault bookkeeping below implements.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+
+/// A frozen snapshot around one fault.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The faulty event that armed the snapshot.
+    pub fault: Event,
+    /// Window contents, oldest first; the fault sits near the middle.
+    pub events: Vec<Event>,
+    /// Index of the fault within `events`.
+    pub fault_index: usize,
+}
+
+struct Armed {
+    fault: Event,
+    remaining: usize,
+}
+
+/// Ring of the most recent α events plus pending freezes.
+///
+/// ```
+/// use gretel_core::{Event, FaultMark, SlidingWindow};
+/// use gretel_model::{ApiId, Direction, MessageId, NodeId};
+///
+/// let ev = |i: u64| Event {
+///     id: MessageId(i), ts: i, api: ApiId(0), direction: Direction::Request,
+///     is_rpc: false, state_change: false, noise_api: false,
+///     src_node: NodeId(0), dst_node: NodeId(1), corr: None,
+///     fault: FaultMark::None,
+/// };
+/// let mut w = SlidingWindow::new(8);
+/// for i in 0..8 { assert!(w.push(ev(i)).is_empty()); }
+/// let fault = ev(8);
+/// w.push(fault);
+/// w.arm(fault); // completes after alpha/2 = 4 more events
+/// for i in 9..12 { assert!(w.push(ev(i)).is_empty()); }
+/// let snaps = w.push(ev(12));
+/// assert_eq!(snaps.len(), 1);
+/// assert_eq!(snaps[0].fault.id, MessageId(8));
+/// ```
+pub struct SlidingWindow {
+    alpha: usize,
+    buf: VecDeque<Event>,
+    armed: Vec<Armed>,
+}
+
+impl SlidingWindow {
+    /// Window of size `alpha` (≥ 2).
+    pub fn new(alpha: usize) -> SlidingWindow {
+        assert!(alpha >= 2, "window must hold at least two messages");
+        SlidingWindow { alpha, buf: VecDeque::with_capacity(alpha + 1), armed: Vec::new() }
+    }
+
+    /// Configured α.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Current buffered events (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of snapshots awaiting their future half.
+    pub fn pending(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Arm a snapshot for `fault` (must be the most recently pushed
+    /// event). It completes after α/2 further events arrive.
+    pub fn arm(&mut self, fault: Event) {
+        self.armed.push(Armed { fault, remaining: self.alpha / 2 });
+    }
+
+    /// Resize the window to a new α (the paper recomputes α when the
+    /// observed packet rate changes — Prate is "the only dynamic
+    /// parameter"). Shrinking evicts the oldest events; pending snapshot
+    /// deadlines are left untouched.
+    pub fn resize(&mut self, alpha: usize) {
+        assert!(alpha >= 2, "window must hold at least two messages");
+        self.alpha = alpha;
+        while self.buf.len() > self.alpha {
+            self.buf.pop_front();
+        }
+    }
+
+    /// Push one event; returns any snapshots that completed.
+    pub fn push(&mut self, ev: Event) -> Vec<Snapshot> {
+        self.buf.push_back(ev);
+        if self.buf.len() > self.alpha {
+            self.buf.pop_front();
+        }
+        let mut done = Vec::new();
+        let mut still_armed = Vec::new();
+        for mut a in self.armed.drain(..) {
+            a.remaining -= 1;
+            if a.remaining == 0 {
+                done.push(a);
+            } else {
+                still_armed.push(a);
+            }
+        }
+        self.armed = still_armed;
+        done.into_iter().map(|a| self.freeze(a.fault)).collect()
+    }
+
+    /// Flush all pending snapshots with whatever future context arrived
+    /// (stream end).
+    pub fn flush(&mut self) -> Vec<Snapshot> {
+        let armed = std::mem::take(&mut self.armed);
+        armed.into_iter().map(|a| self.freeze(a.fault)).collect()
+    }
+
+    fn freeze(&self, fault: Event) -> Snapshot {
+        let events: Vec<Event> = self.buf.iter().copied().collect();
+        let fault_index = events
+            .iter()
+            .position(|e| e.id == fault.id)
+            .unwrap_or(0); // fault already evicted (tiny α): anchor at start
+        Snapshot { fault, events, fault_index }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultMark;
+    use gretel_model::{ApiId, Direction, MessageId, NodeId};
+
+    fn ev(id: u64) -> Event {
+        Event {
+            id: MessageId(id),
+            ts: id * 10,
+            api: ApiId((id % 50) as u16),
+            direction: Direction::Request,
+            is_rpc: false,
+            state_change: false,
+            noise_api: false,
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            corr: None,
+            fault: FaultMark::None,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_last_alpha() {
+        let mut w = SlidingWindow::new(8);
+        for i in 0..20 {
+            w.push(ev(i));
+        }
+        assert_eq!(w.len(), 8);
+        let ids: Vec<u64> = w.events().map(|e| e.id.0).collect();
+        assert_eq!(ids, (12..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn snapshot_centers_the_fault() {
+        let mut w = SlidingWindow::new(8);
+        for i in 0..10 {
+            assert!(w.push(ev(i)).is_empty());
+        }
+        let fault = ev(10);
+        w.push(fault);
+        w.arm(fault);
+        // α/2 = 4 more events complete the snapshot.
+        assert!(w.push(ev(11)).is_empty());
+        assert!(w.push(ev(12)).is_empty());
+        assert!(w.push(ev(13)).is_empty());
+        let snaps = w.push(ev(14));
+        assert_eq!(snaps.len(), 1);
+        let s = &snaps[0];
+        assert_eq!(s.events.len(), 8);
+        assert_eq!(s.events[s.fault_index].id, MessageId(10));
+        // Past half and future half around the fault.
+        assert_eq!(s.fault_index, 3); // events 7..=14, fault=10 at index 3
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn multiple_armed_faults_complete_independently() {
+        let mut w = SlidingWindow::new(8);
+        for i in 0..8 {
+            w.push(ev(i));
+        }
+        let f1 = ev(8);
+        w.push(f1);
+        w.arm(f1);
+        w.push(ev(9));
+        let f2 = ev(10);
+        w.push(f2);
+        w.arm(f2);
+        // f1 needs 2 more, f2 needs 4 more.
+        assert!(w.push(ev(11)).is_empty());
+        let s1 = w.push(ev(12));
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].fault.id, MessageId(8));
+        w.push(ev(13));
+        let s2 = w.push(ev(14));
+        assert_eq!(s2.len(), 1);
+        assert_eq!(s2[0].fault.id, MessageId(10));
+    }
+
+    #[test]
+    fn flush_emits_partial_snapshots() {
+        let mut w = SlidingWindow::new(100);
+        for i in 0..5 {
+            w.push(ev(i));
+        }
+        let f = ev(5);
+        w.push(f);
+        w.arm(f);
+        let snaps = w.flush();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].events.len(), 6);
+        assert_eq!(snaps[0].fault_index, 5);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks() {
+        let mut w = SlidingWindow::new(4);
+        for i in 0..10 {
+            w.push(ev(i));
+        }
+        assert_eq!(w.len(), 4);
+        w.resize(8);
+        for i in 10..20 {
+            w.push(ev(i));
+        }
+        assert_eq!(w.len(), 8);
+        w.resize(3);
+        assert_eq!(w.len(), 3);
+        let ids: Vec<u64> = w.events().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![17, 18, 19], "shrink keeps the newest");
+    }
+
+    #[test]
+    fn fault_evicted_by_tiny_window_anchors_at_start() {
+        let mut w = SlidingWindow::new(2);
+        let f = ev(0);
+        w.push(f);
+        w.arm(f);
+        let snaps = w.push(ev(1)); // α/2 = 1 → completes, but window holds 0..1
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].fault_index, 0);
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-node monitoring agents.
+//!
+//! The paper deploys a Bro instance on every node to capture "relevant
+//! OpenStack REST and RPC communication" (§5.1) and forward events to the
+//! central analyzer over TCP (preserving per-stream order, §5.2). A
+//! [`CaptureAgent`] is the simulated equivalent: it sees the messages that
+//! *leave* its node (so every message is captured exactly once across the
+//! deployment), filters out traffic GRETEL does not care about, and ships
+//! encoded frames over an in-process channel.
+
+use crate::frame;
+use bytes::Bytes;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use gretel_model::{Message, NodeId, Service};
+
+/// Traffic filter applied by agents: GRETEL monitors REST/RPC control
+/// traffic only; database and NTP chatter is out of scope.
+pub fn is_relevant(msg: &Message) -> bool {
+    !matches!(msg.dst_service, Service::MySql | Service::Ntp)
+        && !matches!(msg.src_service, Service::MySql | Service::Ntp)
+}
+
+/// A per-node capture agent.
+#[derive(Debug, Clone)]
+pub struct CaptureAgent {
+    node: NodeId,
+}
+
+impl CaptureAgent {
+    /// Agent watching `node`.
+    pub fn new(node: NodeId) -> CaptureAgent {
+        CaptureAgent { node }
+    }
+
+    /// The node this agent watches.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether this agent observes (and is responsible for forwarding)
+    /// `msg`: egress capture, so exactly one agent owns each message.
+    pub fn observes(&self, msg: &Message) -> bool {
+        msg.src_node == self.node && is_relevant(msg)
+    }
+
+    /// Capture a slice of wire traffic: the frames this agent forwards.
+    pub fn capture<'m>(
+        &self,
+        traffic: impl IntoIterator<Item = &'m Message>,
+    ) -> Vec<Bytes> {
+        traffic
+            .into_iter()
+            .filter(|m| self.observes(m))
+            .map(frame::encode)
+            .collect()
+    }
+}
+
+/// An agent-to-analyzer link: bounded, in-order frame transport.
+pub struct AgentLink {
+    /// Sending half (held by the agent).
+    pub tx: Sender<Bytes>,
+    /// Receiving half (held by the event receiver).
+    pub rx: Receiver<Bytes>,
+}
+
+impl AgentLink {
+    /// Create a link with the given channel capacity.
+    pub fn new(capacity: usize) -> AgentLink {
+        let (tx, rx) = bounded(capacity);
+        AgentLink { tx, rx }
+    }
+}
+
+/// Deterministically merge per-agent capture batches back into one
+/// timestamp-ordered stream (k-way merge; ties broken by message id, which
+/// is globally unique). This mirrors the analyzer-side event receiver
+/// reassembling one logical stream from many agent TCP connections.
+pub fn merge_captures(batches: Vec<Vec<Message>>) -> Vec<Message> {
+    let mut merged: Vec<Message> = batches.into_iter().flatten().collect();
+    merged.sort_by_key(|m| (m.ts_us, m.id));
+    merged
+}
+
+/// Split deployment-wide traffic into per-agent views, capturing with one
+/// agent per node, and merge back into the analyzer's input order.
+/// Returns the merged decoded stream plus the total encoded byte count
+/// (what actually crossed the monitoring network).
+pub fn capture_and_merge(nodes: &[NodeId], traffic: &[Message]) -> (Vec<Message>, usize) {
+    let mut bytes_total = 0usize;
+    let mut batches = Vec::with_capacity(nodes.len());
+    for &node in nodes {
+        let agent = CaptureAgent::new(node);
+        let frames = agent.capture(traffic.iter());
+        let mut decoded = Vec::with_capacity(frames.len());
+        for f in frames {
+            bytes_total += f.len();
+            decoded.push(frame::decode_one(&f).expect("agent-encoded frame decodes"));
+        }
+        batches.push(decoded);
+    }
+    (merge_captures(batches), bytes_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gretel_model::{
+        ApiId, ConnKey, Direction, HttpMethod, Message, MessageId, WireKind,
+    };
+
+    fn msg(id: u64, ts: u64, src: u8, dst_service: Service) -> Message {
+        Message {
+            id: MessageId(id),
+            ts_us: ts,
+            src_node: NodeId(src),
+            dst_node: NodeId(0),
+            src_service: Service::Nova,
+            dst_service,
+            api: ApiId(1),
+            direction: Direction::Request,
+            wire: WireKind::Rest { method: HttpMethod::Get, uri: "/x".into(), status: None },
+            conn: ConnKey::default(),
+            payload: vec![1, 2, 3],
+            correlation_id: None,
+            truth_op: None,
+            truth_noise: false,
+        }
+    }
+
+    #[test]
+    fn egress_capture_owns_each_message_once() {
+        let traffic =
+            [msg(0, 10, 0, Service::Neutron), msg(1, 20, 1, Service::Nova), msg(2, 30, 0, Service::Glance)];
+        let a0 = CaptureAgent::new(NodeId(0));
+        let a1 = CaptureAgent::new(NodeId(1));
+        assert_eq!(a0.capture(traffic.iter()).len(), 2);
+        assert_eq!(a1.capture(traffic.iter()).len(), 1);
+    }
+
+    #[test]
+    fn database_and_ntp_traffic_is_filtered() {
+        assert!(!is_relevant(&msg(0, 0, 0, Service::MySql)));
+        assert!(!is_relevant(&msg(0, 0, 0, Service::Ntp)));
+        assert!(is_relevant(&msg(0, 0, 0, Service::RabbitMq)));
+        assert!(is_relevant(&msg(0, 0, 0, Service::Neutron)));
+    }
+
+    #[test]
+    fn capture_and_merge_restores_global_order() {
+        let traffic = vec![
+            msg(0, 30, 2, Service::Nova),
+            msg(1, 10, 0, Service::Neutron),
+            msg(2, 20, 1, Service::Glance),
+        ];
+        let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let (merged, bytes) = capture_and_merge(&nodes, &traffic);
+        assert_eq!(merged.len(), 3);
+        assert!(bytes > 0);
+        let ts: Vec<u64> = merged.iter().map(|m| m.ts_us).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_breaks_ties_by_message_id() {
+        let batches = vec![vec![msg(5, 100, 0, Service::Nova)], vec![msg(2, 100, 1, Service::Nova)]];
+        let merged = merge_captures(batches);
+        assert_eq!(merged[0].id, MessageId(2));
+        assert_eq!(merged[1].id, MessageId(5));
+    }
+
+    #[test]
+    fn agent_link_is_fifo() {
+        let link = AgentLink::new(16);
+        for i in 0..10u8 {
+            link.tx.send(Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(link.rx.recv().unwrap()[0], i);
+        }
+    }
+}
+
+/// Capture degradation model: the monitoring path itself can lose frames
+/// (an overloaded span port, a Bro worker shedding load). GRETEL is built
+/// to degrade gracefully — starred symbols may be missing from a snapshot
+/// without invalidating a match — and this models the condition.
+#[derive(Debug, Clone, Copy)]
+pub struct Degradation {
+    /// Independent probability of losing each captured message.
+    pub drop_prob: f64,
+    /// RNG seed (deterministic degradation).
+    pub seed: u64,
+}
+
+/// Apply capture loss to a traffic log. Error messages are never dropped
+/// when `keep_errors` is set (a convenient way to isolate the effect of
+/// losing *context* from the effect of losing the fault itself).
+pub fn degrade(
+    traffic: &[Message],
+    degradation: Degradation,
+    keep_errors: bool,
+) -> Vec<Message> {
+    // Deterministic per-message coin flips via splitmix64 so degradation
+    // does not depend on iteration patterns.
+    let mut out = Vec::with_capacity(traffic.len());
+    for m in traffic {
+        if keep_errors && (m.is_rest_error() || m.is_rpc_error()) {
+            out.push(m.clone());
+            continue;
+        }
+        let mut x = degradation.seed ^ m.id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let coin = (x >> 11) as f64 / (1u64 << 53) as f64;
+        if coin >= degradation.drop_prob {
+            out.push(m.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod degradation_tests {
+    use super::*;
+    use gretel_model::message::render_rest_response_payload;
+    use gretel_model::{
+        ApiId, ConnKey, Direction, HttpMethod, Message, MessageId, NodeId, Service, WireKind,
+    };
+
+    fn msg(id: u64, status: Option<u16>) -> Message {
+        Message {
+            id: MessageId(id),
+            ts_us: id,
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            src_service: Service::Horizon,
+            dst_service: Service::Nova,
+            api: ApiId(1),
+            direction: Direction::Response,
+            wire: WireKind::Rest { method: HttpMethod::Get, uri: "/x".into(), status },
+            conn: ConnKey::default(),
+            payload: status
+                .map(|s| render_rest_response_payload(s, "x", 8))
+                .unwrap_or_default(),
+            correlation_id: None,
+            truth_op: None,
+            truth_noise: false,
+        }
+    }
+
+    #[test]
+    fn zero_loss_is_identity() {
+        let traffic: Vec<Message> = (0..100).map(|i| msg(i, Some(200))).collect();
+        let out = degrade(&traffic, Degradation { drop_prob: 0.0, seed: 1 }, false);
+        assert_eq!(out, traffic);
+    }
+
+    #[test]
+    fn loss_rate_is_approximately_honored() {
+        let traffic: Vec<Message> = (0..10_000).map(|i| msg(i, Some(200))).collect();
+        let out = degrade(&traffic, Degradation { drop_prob: 0.3, seed: 2 }, false);
+        let kept = out.len() as f64 / traffic.len() as f64;
+        assert!((kept - 0.7).abs() < 0.03, "kept {kept}");
+    }
+
+    #[test]
+    fn degradation_is_deterministic() {
+        let traffic: Vec<Message> = (0..1_000).map(|i| msg(i, Some(200))).collect();
+        let a = degrade(&traffic, Degradation { drop_prob: 0.5, seed: 3 }, false);
+        let b = degrade(&traffic, Degradation { drop_prob: 0.5, seed: 3 }, false);
+        assert_eq!(a, b);
+        let c = degrade(&traffic, Degradation { drop_prob: 0.5, seed: 4 }, false);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn errors_survive_when_requested() {
+        let traffic: Vec<Message> =
+            (0..1_000).map(|i| msg(i, Some(if i % 10 == 0 { 500 } else { 200 }))).collect();
+        let out = degrade(&traffic, Degradation { drop_prob: 0.9, seed: 5 }, true);
+        let errors = out.iter().filter(|m| m.is_rest_error()).count();
+        assert_eq!(errors, 100, "all errors kept");
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let traffic: Vec<Message> = (0..500).map(|i| msg(i, Some(200))).collect();
+        let out = degrade(&traffic, Degradation { drop_prob: 0.4, seed: 6 }, false);
+        for w in out.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+}
+
+/// Apply per-node clock skew to captured timestamps (NTP drift on the
+/// *monitoring* hosts, not the deployment — the paper mandates NTP
+/// everywhere precisely because skew reorders the merged event stream).
+/// Each node gets a deterministic offset in `[-max_skew_us, +max_skew_us]`
+/// and the stream is re-sorted the way the analyzer-side merge would see
+/// it.
+pub fn skew_clocks(traffic: &[Message], max_skew_us: i64, seed: u64) -> Vec<Message> {
+    let offset = |node: NodeId| -> i64 {
+        if max_skew_us == 0 {
+            return 0;
+        }
+        let mut x = seed ^ ((node.0 as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        x ^= x >> 29;
+        (x % (2 * max_skew_us as u64 + 1)) as i64 - max_skew_us
+    };
+    let mut out: Vec<Message> = traffic
+        .iter()
+        .map(|m| {
+            let mut m = m.clone();
+            m.ts_us = m.ts_us.saturating_add_signed(offset(m.src_node));
+            m
+        })
+        .collect();
+    out.sort_by_key(|m| (m.ts_us, m.id));
+    out
+}
+
+#[cfg(test)]
+mod skew_tests {
+    use super::*;
+    use gretel_model::{ApiId, ConnKey, Direction, HttpMethod, MessageId, Service, WireKind};
+
+    fn msg(id: u64, ts: u64, node: u8) -> Message {
+        Message {
+            id: MessageId(id),
+            ts_us: ts,
+            src_node: NodeId(node),
+            dst_node: NodeId(0),
+            src_service: Service::Nova,
+            dst_service: Service::Horizon,
+            api: ApiId(1),
+            direction: Direction::Request,
+            wire: WireKind::Rest { method: HttpMethod::Get, uri: "/x".into(), status: None },
+            conn: ConnKey::default(),
+            payload: vec![],
+            correlation_id: None,
+            truth_op: None,
+            truth_noise: false,
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_identity() {
+        let traffic: Vec<Message> = (0..50).map(|i| msg(i, i * 10, (i % 5) as u8)).collect();
+        assert_eq!(skew_clocks(&traffic, 0, 1), traffic);
+    }
+
+    #[test]
+    fn skew_is_per_node_and_bounded() {
+        let traffic: Vec<Message> = (0..200).map(|i| msg(i, 1_000_000 + i, (i % 7) as u8)).collect();
+        let skewed = skew_clocks(&traffic, 500, 9);
+        for m in &skewed {
+            let orig = traffic.iter().find(|o| o.id == m.id).unwrap();
+            let delta = m.ts_us as i64 - orig.ts_us as i64;
+            assert!(delta.abs() <= 500, "delta {delta}");
+        }
+        // Same node always gets the same offset.
+        let deltas: std::collections::HashSet<i64> = skewed
+            .iter()
+            .filter(|m| m.src_node == NodeId(3))
+            .map(|m| {
+                let orig = traffic.iter().find(|o| o.id == m.id).unwrap();
+                m.ts_us as i64 - orig.ts_us as i64
+            })
+            .collect();
+        assert_eq!(deltas.len(), 1);
+    }
+
+    #[test]
+    fn output_is_time_sorted() {
+        let traffic: Vec<Message> = (0..300).map(|i| msg(i, i * 3, (i % 7) as u8)).collect();
+        let skewed = skew_clocks(&traffic, 1_000, 4);
+        for w in skewed.windows(2) {
+            assert!((w[0].ts_us, w[0].id) <= (w[1].ts_us, w[1].id));
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Binary wire codec for captured messages.
+//!
+//! Monitoring agents serialize each captured [`Message`] into a
+//! length-delimited binary frame before shipping it to the analyzer
+//! (standing in for the paper's Broccoli event transport). The framing is
+//! also what gives throughput numbers their meaning: Mbps in the §7.4
+//! experiments is measured over these bytes.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! u32  frame length (bytes after this field)
+//! u16  magic (0x4752 "GR")
+//! u8   version (1)
+//! u8   flags: bit0 direction=response, bit1 is_rpc, bit2 has_truth_op,
+//!             bit3 truth_noise, bit4 has_correlation_id
+//! u64  message id
+//! u64  timestamp (µs)
+//! u8   src node | u8 dst node | u8 src service | u8 dst service
+//! u16  api id
+//! u8×2 conn: src node, dst node   u16×2 conn: src port, dst port
+//! -- REST (bit1 clear):
+//!   u8   method  | u16 status (0 = none) | u16 uri len | uri bytes
+//! -- RPC (bit1 set):
+//!   u64  rpc msg id | u16 error len | error bytes | u16 method len | method
+//! u32  payload len | payload bytes
+//! u64  truth op (only when bit2 set)
+//! u64  correlation id (only when bit4 set)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gretel_model::{
+    ApiId, ConnKey, Direction, HttpMethod, Message, MessageId, NodeId, OpInstanceId, Service,
+    WireKind,
+};
+use std::fmt;
+
+/// Frame magic value.
+pub const MAGIC: u16 = 0x4752;
+/// Current codec version.
+pub const VERSION: u8 = 1;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the frame header demands.
+    Truncated,
+    /// Bad magic value.
+    BadMagic(u16),
+    /// Unsupported version.
+    BadVersion(u8),
+    /// A field held an invalid value.
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated frame"),
+            CodecError::BadMagic(m) => write!(f, "bad magic 0x{m:04x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::InvalidField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const FLAG_RESPONSE: u8 = 1 << 0;
+const FLAG_RPC: u8 = 1 << 1;
+const FLAG_TRUTH_OP: u8 = 1 << 2;
+const FLAG_NOISE: u8 = 1 << 3;
+const FLAG_CORR_ID: u8 = 1 << 4;
+
+fn method_to_u8(m: HttpMethod) -> u8 {
+    match m {
+        HttpMethod::Get => 0,
+        HttpMethod::Post => 1,
+        HttpMethod::Put => 2,
+        HttpMethod::Delete => 3,
+        HttpMethod::Patch => 4,
+        HttpMethod::Head => 5,
+    }
+}
+
+fn method_from_u8(v: u8) -> Option<HttpMethod> {
+    Some(match v {
+        0 => HttpMethod::Get,
+        1 => HttpMethod::Post,
+        2 => HttpMethod::Put,
+        3 => HttpMethod::Delete,
+        4 => HttpMethod::Patch,
+        5 => HttpMethod::Head,
+        _ => return None,
+    })
+}
+
+/// Encode one message as a framed byte buffer.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut body = BytesMut::with_capacity(64 + msg.payload.len());
+    let mut flags = 0u8;
+    if msg.direction == Direction::Response {
+        flags |= FLAG_RESPONSE;
+    }
+    if msg.wire.is_rpc() {
+        flags |= FLAG_RPC;
+    }
+    if msg.truth_op.is_some() {
+        flags |= FLAG_TRUTH_OP;
+    }
+    if msg.truth_noise {
+        flags |= FLAG_NOISE;
+    }
+    if msg.correlation_id.is_some() {
+        flags |= FLAG_CORR_ID;
+    }
+    body.put_u16_le(MAGIC);
+    body.put_u8(VERSION);
+    body.put_u8(flags);
+    body.put_u64_le(msg.id.0);
+    body.put_u64_le(msg.ts_us);
+    body.put_u8(msg.src_node.0);
+    body.put_u8(msg.dst_node.0);
+    body.put_u8(msg.src_service.index());
+    body.put_u8(msg.dst_service.index());
+    body.put_u16_le(msg.api.0);
+    body.put_u8(msg.conn.src.0);
+    body.put_u8(msg.conn.dst.0);
+    body.put_u16_le(msg.conn.src_port);
+    body.put_u16_le(msg.conn.dst_port);
+    match &msg.wire {
+        WireKind::Rest { method, uri, status } => {
+            body.put_u8(method_to_u8(*method));
+            body.put_u16_le(status.unwrap_or(0));
+            let uri = uri.as_bytes();
+            body.put_u16_le(uri.len() as u16);
+            body.put_slice(uri);
+        }
+        WireKind::Rpc { method, msg_id, error } => {
+            body.put_u64_le(*msg_id);
+            let err = error.as_deref().unwrap_or("");
+            body.put_u16_le(err.len() as u16);
+            body.put_slice(err.as_bytes());
+            body.put_u16_le(method.len() as u16);
+            body.put_slice(method.as_bytes());
+        }
+    }
+    body.put_u32_le(msg.payload.len() as u32);
+    body.put_slice(&msg.payload);
+    if let Some(op) = msg.truth_op {
+        body.put_u64_le(op.0);
+    }
+    if let Some(corr) = msg.correlation_id {
+        body.put_u64_le(corr);
+    }
+
+    let mut framed = BytesMut::with_capacity(4 + body.len());
+    framed.put_u32_le(body.len() as u32);
+    framed.extend_from_slice(&body);
+    framed.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_string(buf: &mut impl Buf) -> Result<String, CodecError> {
+    need(buf, 2)?;
+    let len = buf.get_u16_le() as usize;
+    need(buf, len)?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    String::from_utf8(bytes).map_err(|_| CodecError::InvalidField("utf8 string"))
+}
+
+/// Decode one framed message from `buf`, consuming exactly one frame.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete frame
+/// (stream decoding); errors are permanent for the frame.
+pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let frame_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if buf.len() < 4 + frame_len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let mut frame = buf.split_to(frame_len);
+    let msg = decode_body(&mut frame)?;
+    Ok(Some(msg))
+}
+
+fn decode_body(buf: &mut BytesMut) -> Result<Message, CodecError> {
+    need(buf, 2 + 1 + 1 + 8 + 8 + 4 + 2 + 2 + 4)?;
+    let magic = buf.get_u16_le();
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let flags = buf.get_u8();
+    let id = MessageId(buf.get_u64_le());
+    let ts_us = buf.get_u64_le();
+    let src_node = NodeId(buf.get_u8());
+    let dst_node = NodeId(buf.get_u8());
+    let src_service = Service::from_index(buf.get_u8())
+        .ok_or(CodecError::InvalidField("src service"))?;
+    let dst_service = Service::from_index(buf.get_u8())
+        .ok_or(CodecError::InvalidField("dst service"))?;
+    let api = ApiId(buf.get_u16_le());
+    let conn = ConnKey {
+        src: NodeId(buf.get_u8()),
+        dst: NodeId(buf.get_u8()),
+        src_port: buf.get_u16_le(),
+        dst_port: buf.get_u16_le(),
+    };
+    let wire = if flags & FLAG_RPC != 0 {
+        need(buf, 8)?;
+        let msg_id = buf.get_u64_le();
+        let err = get_string(buf)?;
+        let method = get_string(buf)?;
+        WireKind::Rpc { method, msg_id, error: (!err.is_empty()).then_some(err) }
+    } else {
+        need(buf, 3)?;
+        let method =
+            method_from_u8(buf.get_u8()).ok_or(CodecError::InvalidField("http method"))?;
+        let status = buf.get_u16_le();
+        let uri = get_string(buf)?;
+        WireKind::Rest { method, uri, status: (status != 0).then_some(status) }
+    };
+    need(buf, 4)?;
+    let payload_len = buf.get_u32_le() as usize;
+    need(buf, payload_len)?;
+    let mut payload = vec![0u8; payload_len];
+    buf.copy_to_slice(&mut payload);
+    let truth_op = if flags & FLAG_TRUTH_OP != 0 {
+        need(buf, 8)?;
+        Some(OpInstanceId(buf.get_u64_le()))
+    } else {
+        None
+    };
+    let correlation_id = if flags & FLAG_CORR_ID != 0 {
+        need(buf, 8)?;
+        Some(buf.get_u64_le())
+    } else {
+        None
+    };
+    Ok(Message {
+        id,
+        ts_us,
+        src_node,
+        dst_node,
+        src_service,
+        dst_service,
+        api,
+        direction: if flags & FLAG_RESPONSE != 0 { Direction::Response } else { Direction::Request },
+        wire,
+        conn,
+        payload,
+        correlation_id,
+        truth_op,
+        truth_noise: flags & FLAG_NOISE != 0,
+    })
+}
+
+/// Convenience: decode a buffer holding exactly one frame.
+pub fn decode_one(bytes: &[u8]) -> Result<Message, CodecError> {
+    let mut buf = BytesMut::from(bytes);
+    match decode(&mut buf)? {
+        Some(m) if buf.is_empty() => Ok(m),
+        Some(_) => Err(CodecError::InvalidField("trailing bytes")),
+        None => Err(CodecError::Truncated),
+    }
+}
+
+/// Encoded size of a message, including the length prefix.
+pub fn encoded_len(msg: &Message) -> usize {
+    encode(msg).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gretel_model::message::render_rest_response_payload;
+
+    fn sample_rest() -> Message {
+        Message {
+            id: MessageId(42),
+            ts_us: 123_456_789,
+            src_node: NodeId(1),
+            dst_node: NodeId(2),
+            src_service: Service::Nova,
+            dst_service: Service::Neutron,
+            api: ApiId(77),
+            direction: Direction::Response,
+            wire: WireKind::Rest {
+                method: HttpMethod::Post,
+                uri: "/v2.0/ports.json".into(),
+                status: Some(500),
+            },
+            conn: ConnKey { src: NodeId(2), src_port: 9696, dst: NodeId(1), dst_port: 33000 },
+            payload: render_rest_response_payload(500, "Internal Server Error", 128),
+            correlation_id: None,
+            truth_op: Some(OpInstanceId(7)),
+            truth_noise: false,
+        }
+    }
+
+    fn sample_rpc() -> Message {
+        Message {
+            id: MessageId(43),
+            ts_us: 1,
+            src_node: NodeId(4),
+            dst_node: NodeId(0),
+            src_service: Service::NovaCompute,
+            dst_service: Service::Nova,
+            api: ApiId(650),
+            direction: Direction::Request,
+            wire: WireKind::Rpc {
+                method: "build_and_run_instance".into(),
+                msg_id: 991,
+                error: None,
+            },
+            conn: ConnKey { src: NodeId(4), src_port: 21000, dst: NodeId(0), dst_port: 5672 },
+            payload: b"oslo".to_vec(),
+            correlation_id: None,
+            truth_op: None,
+            truth_noise: true,
+        }
+    }
+
+    #[test]
+    fn correlation_id_round_trips() {
+        let mut m = sample_rest();
+        m.correlation_id = Some(0xDEAD_BEEF);
+        assert_eq!(decode_one(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rest_round_trip() {
+        let m = sample_rest();
+        assert_eq!(decode_one(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let m = sample_rpc();
+        assert_eq!(decode_one(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rpc_error_round_trip() {
+        let mut m = sample_rpc();
+        m.wire = WireKind::Rpc {
+            method: "create_volume".into(),
+            msg_id: 5,
+            error: Some("VolumeLimitExceeded".into()),
+        };
+        assert_eq!(decode_one(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn stream_decoding_handles_partial_frames() {
+        let m1 = sample_rest();
+        let m2 = sample_rpc();
+        let mut wire = BytesMut::new();
+        wire.extend_from_slice(&encode(&m1));
+        wire.extend_from_slice(&encode(&m2));
+
+        // Feed the stream one byte at a time.
+        let total = wire.len();
+        let mut rx = BytesMut::new();
+        let mut decoded = Vec::new();
+        for i in 0..total {
+            rx.extend_from_slice(&wire[i..i + 1]);
+            while let Some(m) = decode(&mut rx).unwrap() {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded, vec![m1, m2]);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let m = sample_rest();
+        let enc = encode(&m);
+        let mut bytes = enc.to_vec();
+        bytes[4] = 0xFF; // first magic byte after the length prefix
+        assert!(matches!(decode_one(&bytes), Err(CodecError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let m = sample_rest();
+        let mut bytes = encode(&m).to_vec();
+        bytes[6] = 99;
+        assert!(matches!(decode_one(&bytes), Err(CodecError::BadVersion(99))));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let m = sample_rest();
+        let bytes = encode(&m);
+        // Chop the tail: the frame length no longer matches, so stream
+        // decode reports "incomplete".
+        let mut buf = BytesMut::from(&bytes[..bytes.len() - 3]);
+        assert_eq!(decode(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn status_none_round_trips() {
+        let mut m = sample_rest();
+        m.direction = Direction::Request;
+        m.wire = WireKind::Rest { method: HttpMethod::Get, uri: "/v2.1/servers".into(), status: None };
+        assert_eq!(decode_one(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let m = sample_rest();
+        assert_eq!(encoded_len(&m), encode(&m).len());
+    }
+}

@@ -1,0 +1,26 @@
+//! # gretel-netcap — capture transport for GRETEL
+//!
+//! The monitoring substrate standing in for the paper's Bro + Broccoli
+//! pipeline (see DESIGN.md §1):
+//!
+//! * [`frame`] — length-delimited binary codec for captured messages (the
+//!   bytes whose volume the §7.4 throughput numbers measure);
+//! * [`agent`] — per-node egress capture agents, relevance filtering, and
+//!   the analyzer-side k-way merge back into one ordered stream;
+//! * [`pcap`] — libpcap-flavoured dump files for captured traffic;
+//! * [`stats`] — wall-clock throughput meters (events/s, Mbps).
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod frame;
+pub mod pcap;
+pub mod stats;
+
+pub use agent::{
+    capture_and_merge, degrade, is_relevant, merge_captures, skew_clocks, AgentLink,
+    CaptureAgent, Degradation,
+};
+pub use frame::{decode, decode_one, encode, encoded_len, CodecError};
+pub use pcap::PcapReader;
+pub use stats::ThroughputMeter;

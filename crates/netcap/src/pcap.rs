@@ -1,0 +1,272 @@
+//! Minimal pcap-style capture dumps.
+//!
+//! All examples and experiment binaries can persist captured traffic in a
+//! libpcap-flavoured container: a global header followed by per-record
+//! headers (`ts_sec`, `ts_usec`, `incl_len`, `orig_len`) and the encoded
+//! frame bytes. The link type is a private value since records hold GRETEL
+//! frames, not Ethernet.
+
+use crate::frame::{self, CodecError};
+use bytes::BytesMut;
+use gretel_model::Message;
+use std::io::{self, Read, Write};
+
+/// pcap global-header magic (standard little-endian value).
+pub const PCAP_MAGIC: u32 = 0xA1B2_C3D4;
+/// Private link type for GRETEL frames (matches LINKTYPE_USER0).
+pub const LINKTYPE_GRETEL: u32 = 147;
+
+/// Write a pcap global header.
+pub fn write_header<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(&PCAP_MAGIC.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&65_535u32.to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_GRETEL.to_le_bytes())?;
+    Ok(())
+}
+
+/// Append one message as a pcap record.
+pub fn write_record<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    let data = frame::encode(msg);
+    let ts_sec = (msg.ts_us / 1_000_000) as u32;
+    let ts_usec = (msg.ts_us % 1_000_000) as u32;
+    w.write_all(&ts_sec.to_le_bytes())?;
+    w.write_all(&ts_usec.to_le_bytes())?;
+    w.write_all(&(data.len() as u32).to_le_bytes())?;
+    w.write_all(&(data.len() as u32).to_le_bytes())?;
+    w.write_all(&data)?;
+    Ok(())
+}
+
+/// Write a whole capture (header + records).
+pub fn write_capture<W: Write>(w: &mut W, msgs: &[Message]) -> io::Result<()> {
+    write_header(w)?;
+    for m in msgs {
+        write_record(w, m)?;
+    }
+    Ok(())
+}
+
+/// Error reading a capture back.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a pcap file / wrong magic.
+    BadMagic(u32),
+    /// A record's frame failed to decode.
+    Frame(CodecError),
+    /// File ended mid-record.
+    Truncated,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "io error: {e}"),
+            PcapError::BadMagic(m) => write!(f, "bad pcap magic 0x{m:08x}"),
+            PcapError::Frame(e) => write!(f, "bad frame: {e}"),
+            PcapError::Truncated => write!(f, "truncated pcap record"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<bool, PcapError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 { Ok(false) } else { Err(PcapError::Truncated) };
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+/// Streaming capture reader: yields one message at a time without
+/// buffering the whole file (captures from long runs can be large).
+pub struct PcapReader<R: Read> {
+    inner: R,
+    header_done: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Wrap a reader positioned at the start of a capture file.
+    pub fn new(inner: R) -> PcapReader<R> {
+        PcapReader { inner, header_done: false }
+    }
+
+    fn read_header(&mut self) -> Result<(), PcapError> {
+        let mut header = [0u8; 24];
+        if !read_exact_or_eof(&mut self.inner, &mut header)? {
+            return Err(PcapError::Truncated);
+        }
+        let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        if magic != PCAP_MAGIC {
+            return Err(PcapError::BadMagic(magic));
+        }
+        self.header_done = true;
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for PcapReader<R> {
+    type Item = Result<Message, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.header_done {
+            if let Err(e) = self.read_header() {
+                return Some(Err(e));
+            }
+        }
+        let mut rec = [0u8; 16];
+        match read_exact_or_eof(&mut self.inner, &mut rec) {
+            Ok(false) => return None,
+            Ok(true) => {}
+            Err(e) => return Some(Err(e)),
+        }
+        let incl_len = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
+        let mut data = vec![0u8; incl_len];
+        match read_exact_or_eof(&mut self.inner, &mut data) {
+            Ok(true) => {}
+            Ok(false) => return Some(Err(PcapError::Truncated)),
+            Err(e) => return Some(Err(e)),
+        }
+        let mut buf = BytesMut::from(&data[..]);
+        match frame::decode(&mut buf) {
+            Ok(Some(msg)) => Some(Ok(msg)),
+            Ok(None) => Some(Err(PcapError::Truncated)),
+            Err(e) => Some(Err(PcapError::Frame(e))),
+        }
+    }
+}
+
+/// Read a whole capture back into messages.
+pub fn read_capture<R: Read>(r: &mut R) -> Result<Vec<Message>, PcapError> {
+    let mut header = [0u8; 24];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Err(PcapError::Truncated);
+    }
+    let magic = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if magic != PCAP_MAGIC {
+        return Err(PcapError::BadMagic(magic));
+    }
+    let mut out = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        if !read_exact_or_eof(r, &mut rec)? {
+            break;
+        }
+        let incl_len = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
+        let mut data = vec![0u8; incl_len];
+        if !read_exact_or_eof(r, &mut data)? {
+            return Err(PcapError::Truncated);
+        }
+        let mut buf = BytesMut::from(&data[..]);
+        match frame::decode(&mut buf).map_err(PcapError::Frame)? {
+            Some(msg) => out.push(msg),
+            None => return Err(PcapError::Truncated),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gretel_model::{
+        ApiId, ConnKey, Direction, HttpMethod, MessageId, NodeId, Service, WireKind,
+    };
+
+    fn msgs() -> Vec<Message> {
+        (0..5u64)
+            .map(|i| Message {
+                id: MessageId(i),
+                ts_us: i * 1_500_000, // crosses second boundaries
+                src_node: NodeId(1),
+                dst_node: NodeId(2),
+                src_service: Service::Horizon,
+                dst_service: Service::Nova,
+                api: ApiId(i as u16),
+                direction: Direction::Request,
+                wire: WireKind::Rest {
+                    method: HttpMethod::Get,
+                    uri: format!("/v2.1/servers/{i}"),
+                    status: None,
+                },
+                conn: ConnKey::default(),
+                payload: vec![i as u8; 10],
+                correlation_id: None,
+                truth_op: None,
+                truth_noise: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn capture_round_trips() {
+        let original = msgs();
+        let mut file = Vec::new();
+        write_capture(&mut file, &original).unwrap();
+        let read = read_capture(&mut file.as_slice()).unwrap();
+        assert_eq!(read, original);
+    }
+
+    #[test]
+    fn header_is_standard_pcap() {
+        let mut file = Vec::new();
+        write_capture(&mut file, &[]).unwrap();
+        assert_eq!(file.len(), 24);
+        assert_eq!(u32::from_le_bytes([file[0], file[1], file[2], file[3]]), PCAP_MAGIC);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let file = vec![0u8; 24];
+        assert!(matches!(read_capture(&mut file.as_slice()), Err(PcapError::BadMagic(0))));
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let mut file = Vec::new();
+        write_capture(&mut file, &msgs()).unwrap();
+        file.truncate(file.len() - 4);
+        assert!(matches!(read_capture(&mut file.as_slice()), Err(PcapError::Truncated)));
+    }
+
+    #[test]
+    fn streaming_reader_matches_bulk_reader() {
+        let original = msgs();
+        let mut file = Vec::new();
+        write_capture(&mut file, &original).unwrap();
+        let streamed: Vec<Message> = PcapReader::new(file.as_slice())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, original);
+    }
+
+    #[test]
+    fn streaming_reader_surfaces_bad_magic() {
+        let file = vec![0u8; 24];
+        let mut r = PcapReader::new(file.as_slice());
+        assert!(matches!(r.next(), Some(Err(PcapError::BadMagic(0)))));
+    }
+
+    #[test]
+    fn empty_capture_is_ok() {
+        let mut file = Vec::new();
+        write_capture(&mut file, &[]).unwrap();
+        assert_eq!(read_capture(&mut file.as_slice()).unwrap(), vec![]);
+    }
+}

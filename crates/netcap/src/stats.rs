@@ -1,0 +1,138 @@
+//! Throughput accounting for the §7.4 performance experiments.
+//!
+//! The paper reports GRETEL's sustained throughput in REST/RPC events per
+//! second and in Mbps over the monitored control traffic. A
+//! [`ThroughputMeter`] accumulates message and byte counts against wall
+//!-clock time and converts to those units.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates message/byte counts over wall-clock time.
+#[derive(Debug)]
+pub struct ThroughputMeter {
+    started: Instant,
+    messages: u64,
+    bytes: u64,
+    stopped: Option<Duration>,
+}
+
+impl Default for ThroughputMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputMeter {
+    /// Start a meter now.
+    pub fn new() -> ThroughputMeter {
+        ThroughputMeter { started: Instant::now(), messages: 0, bytes: 0, stopped: None }
+    }
+
+    /// Record one processed message of `bytes` wire bytes.
+    #[inline]
+    pub fn record(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Record a batch.
+    #[inline]
+    pub fn record_batch(&mut self, messages: u64, bytes: u64) {
+        self.messages += messages;
+        self.bytes += bytes;
+    }
+
+    /// Freeze the elapsed time (subsequent rate queries use this instant).
+    pub fn stop(&mut self) {
+        if self.stopped.is_none() {
+            self.stopped = Some(self.started.elapsed());
+        }
+    }
+
+    /// Elapsed wall-clock time (frozen if stopped).
+    pub fn elapsed(&self) -> Duration {
+        self.stopped.unwrap_or_else(|| self.started.elapsed())
+    }
+
+    /// Total messages recorded.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Messages per second.
+    pub fn mps(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.messages as f64 / secs
+        }
+    }
+
+    /// Megabits per second over the recorded bytes.
+    pub fn mbps(&self) -> f64 {
+        let secs = self.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.bytes as f64 * 8.0) / (secs * 1_000_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut m = ThroughputMeter::new();
+        m.record(100);
+        m.record(200);
+        m.record_batch(3, 300);
+        assert_eq!(m.messages(), 5);
+        assert_eq!(m.bytes(), 600);
+    }
+
+    #[test]
+    fn rates_are_positive_after_work() {
+        let mut m = ThroughputMeter::new();
+        for _ in 0..1000 {
+            m.record(125);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        m.stop();
+        assert!(m.mps() > 0.0);
+        assert!(m.mbps() > 0.0);
+    }
+
+    #[test]
+    fn stop_freezes_elapsed() {
+        let mut m = ThroughputMeter::new();
+        m.stop();
+        let e1 = m.elapsed();
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(m.elapsed(), e1);
+    }
+
+    #[test]
+    fn mbps_math() {
+        // 1_000_000 bytes in exactly 1 second would be 8 Mbps; check the
+        // formula via a frozen elapsed of ~0 by construction: use records
+        // and verify proportionality instead of absolute timing.
+        let mut a = ThroughputMeter::new();
+        let mut b = ThroughputMeter::new();
+        a.record_batch(1, 1_000);
+        b.record_batch(1, 2_000);
+        a.stop();
+        b.stop();
+        // Elapsed may differ by nanoseconds; compare ratios loosely.
+        let ratio = b.bytes() as f64 / a.bytes() as f64;
+        assert!((ratio - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,324 @@
+//! Fault injection plans.
+//!
+//! A [`FaultPlan`] is the simulated counterpart of everything the paper
+//! does to its testbed to create faults: returning error statuses from
+//! APIs, `tc`-style latency injection on a node's links, crashing service
+//! processes (the §7.2.3 linuxbridge agent), stopping NTP (§7.2.4), and
+//! exhausting node resources (the §7.2.1 full Glance disk, the §7.2.2 CPU
+//! surge). The executor consults the plan while running operations; the
+//! telemetry log reflects resource and dependency faults so root cause
+//! analysis has something to find.
+
+use crate::engine::SimTime;
+use crate::resources::ResourceKind;
+use gretel_model::{ApiId, Dependency, NodeId, OpInstanceId, Service};
+use serde::{Deserialize, Serialize};
+
+/// Error injected into an API invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectedError {
+    /// REST response with this HTTP status. `reason` overrides the
+    /// canonical reason phrase (e.g. the paper's "No valid host was
+    /// found" body).
+    RestStatus {
+        /// HTTP status code (>= 400 for an error).
+        status: u16,
+        /// Optional custom reason phrase.
+        reason: Option<String>,
+    },
+    /// RPC reply carrying a serialized exception of this class.
+    RpcException {
+        /// Exception class name embedded in the oslo payload.
+        class: String,
+    },
+}
+
+/// Which operation instances an [`ApiFault`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultScope {
+    /// Every instance invoking the API.
+    AllInstances,
+    /// Only the given instance.
+    Instance(OpInstanceId),
+}
+
+impl FaultScope {
+    fn matches(self, inst: OpInstanceId) -> bool {
+        match self {
+            FaultScope::AllInstances => true,
+            FaultScope::Instance(i) => i == inst,
+        }
+    }
+}
+
+/// Inject an error into invocations of one API.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiFault {
+    /// The API to fail.
+    pub api: ApiId,
+    /// Which instances are affected.
+    pub scope: FaultScope,
+    /// Which occurrence of the API within the operation fails (0 = first).
+    pub occurrence: u32,
+    /// The error to return.
+    pub error: InjectedError,
+    /// Whether the operation aborts after the failed step (operational
+    /// faults abort; performance-degrading errors may not).
+    pub abort_op: bool,
+}
+
+/// `tc netem`-style extra latency on all traffic to/from a node during a
+/// window (the Fig 8b experiment injects 50 ms on the Glance server for
+/// 10 minutes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyFault {
+    /// Affected node.
+    pub node: NodeId,
+    /// Extra one-way latency added to each affected step.
+    pub extra: SimTime,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+/// A software-dependency failure visible to the watchers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DepFault {
+    /// A service process crashes on a node at `at` and stays down.
+    ServiceCrash {
+        /// Node the process runs on.
+        node: NodeId,
+        /// The crashed service.
+        service: Service,
+        /// Crash time.
+        at: SimTime,
+    },
+    /// The NTP agent on a node stops at `at`.
+    NtpStop {
+        /// Affected node.
+        node: NodeId,
+        /// Stop time.
+        at: SimTime,
+    },
+}
+
+/// Override a node metric during a window (resource exhaustion / surge).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceFault {
+    /// Affected node.
+    pub node: NodeId,
+    /// Metric to override.
+    pub kind: ResourceKind,
+    /// Absolute value the metric is pinned to during the window.
+    pub value: f64,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `SimTime::MAX` for "until the end".
+    pub until: SimTime,
+}
+
+/// A complete fault schedule for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// API-level error injections.
+    pub api_faults: Vec<ApiFault>,
+    /// Link latency injections.
+    pub latency: Vec<LatencyFault>,
+    /// Dependency failures.
+    pub deps: Vec<DepFault>,
+    /// Resource overrides.
+    pub resources: Vec<ResourceFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (fault-free run).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder-style: add an API fault.
+    pub fn with_api_fault(mut self, f: ApiFault) -> FaultPlan {
+        self.api_faults.push(f);
+        self
+    }
+
+    /// Builder-style: add a latency fault.
+    pub fn with_latency(mut self, f: LatencyFault) -> FaultPlan {
+        self.latency.push(f);
+        self
+    }
+
+    /// Builder-style: add a dependency fault.
+    pub fn with_dep(mut self, f: DepFault) -> FaultPlan {
+        self.deps.push(f);
+        self
+    }
+
+    /// Builder-style: add a resource fault.
+    pub fn with_resource(mut self, f: ResourceFault) -> FaultPlan {
+        self.resources.push(f);
+        self
+    }
+
+    /// The error (if any) to inject for the `occurrence`-th invocation of
+    /// `api` by instance `inst`.
+    pub fn api_error(
+        &self,
+        api: ApiId,
+        inst: OpInstanceId,
+        occurrence: u32,
+    ) -> Option<&ApiFault> {
+        self.api_faults.iter().find(|f| {
+            f.api == api && f.scope.matches(inst) && f.occurrence == occurrence
+        })
+    }
+
+    /// Total extra latency injected on traffic touching `node` at time `t`.
+    pub fn extra_latency(&self, node: NodeId, t: SimTime) -> SimTime {
+        self.latency
+            .iter()
+            .filter(|f| f.node == node && t >= f.from && t < f.until)
+            .map(|f| f.extra)
+            .sum()
+    }
+
+    /// Whether `service` on `node` is down at time `t`.
+    pub fn is_service_down(&self, node: NodeId, service: Service, t: SimTime) -> bool {
+        self.deps.iter().any(|d| match d {
+            DepFault::ServiceCrash { node: n, service: s, at } => {
+                *n == node && *s == service && t >= *at
+            }
+            DepFault::NtpStop { node: n, at } => {
+                *n == node && service == Service::Ntp && t >= *at
+            }
+        })
+    }
+
+    /// Whether a dependency is healthy on `node` at time `t` (what the
+    /// watchers report).
+    pub fn dependency_healthy(&self, node: NodeId, dep: Dependency, t: SimTime) -> bool {
+        match dep {
+            Dependency::ServiceProcess(s) => !self.is_service_down(node, s, t),
+            Dependency::NtpAgent => !self.is_service_down(node, Service::Ntp, t),
+            // Reachability of the shared MySQL / RabbitMQ singletons
+            // follows the remote process: if it crashed anywhere, every
+            // node's TCP watcher sees it unreachable.
+            Dependency::MySqlReachable => !self.is_singleton_down(Service::MySql, t),
+            Dependency::RabbitMqReachable => !self.is_singleton_down(Service::RabbitMq, t),
+            Dependency::Libvirt => true,
+        }
+    }
+
+    /// Whether a singleton infrastructure service is down on any node.
+    pub fn is_singleton_down(&self, service: Service, t: SimTime) -> bool {
+        self.deps.iter().any(|d| {
+            matches!(d, DepFault::ServiceCrash { service: s, at, .. } if *s == service && t >= *at)
+        })
+    }
+
+    /// Resource override value for `(node, kind)` at time `t`, if any.
+    pub fn resource_override(&self, node: NodeId, kind: ResourceKind, t: SimTime) -> Option<f64> {
+        self.resources
+            .iter()
+            .find(|f| f.node == node && f.kind == kind && t >= f.from && t < f.until)
+            .map(|f| f.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::secs;
+
+    #[test]
+    fn api_fault_matching_respects_scope_and_occurrence() {
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: ApiId(5),
+            scope: FaultScope::Instance(OpInstanceId(3)),
+            occurrence: 1,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        assert!(plan.api_error(ApiId(5), OpInstanceId(3), 1).is_some());
+        assert!(plan.api_error(ApiId(5), OpInstanceId(3), 0).is_none());
+        assert!(plan.api_error(ApiId(5), OpInstanceId(4), 1).is_none());
+        assert!(plan.api_error(ApiId(6), OpInstanceId(3), 1).is_none());
+    }
+
+    #[test]
+    fn all_instances_scope_matches_everyone() {
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: ApiId(1),
+            scope: FaultScope::AllInstances,
+            occurrence: 0,
+            error: InjectedError::RpcException { class: "Boom".into() },
+            abort_op: true,
+        });
+        assert!(plan.api_error(ApiId(1), OpInstanceId(0), 0).is_some());
+        assert!(plan.api_error(ApiId(1), OpInstanceId(77), 0).is_some());
+    }
+
+    #[test]
+    fn latency_window_is_half_open() {
+        let plan = FaultPlan::none().with_latency(LatencyFault {
+            node: NodeId(2),
+            extra: 50_000,
+            from: secs(300),
+            until: secs(900),
+        });
+        assert_eq!(plan.extra_latency(NodeId(2), secs(299)), 0);
+        assert_eq!(plan.extra_latency(NodeId(2), secs(300)), 50_000);
+        assert_eq!(plan.extra_latency(NodeId(2), secs(899)), 50_000);
+        assert_eq!(plan.extra_latency(NodeId(2), secs(900)), 0);
+        assert_eq!(plan.extra_latency(NodeId(3), secs(500)), 0);
+    }
+
+    #[test]
+    fn overlapping_latency_faults_stack() {
+        let plan = FaultPlan::none()
+            .with_latency(LatencyFault { node: NodeId(1), extra: 10, from: 0, until: 100 })
+            .with_latency(LatencyFault { node: NodeId(1), extra: 5, from: 50, until: 100 });
+        assert_eq!(plan.extra_latency(NodeId(1), 60), 15);
+        assert_eq!(plan.extra_latency(NodeId(1), 10), 10);
+    }
+
+    #[test]
+    fn service_crash_is_permanent_from_at() {
+        let plan = FaultPlan::none().with_dep(DepFault::ServiceCrash {
+            node: NodeId(4),
+            service: Service::NeutronAgent,
+            at: secs(10),
+        });
+        assert!(!plan.is_service_down(NodeId(4), Service::NeutronAgent, secs(9)));
+        assert!(plan.is_service_down(NodeId(4), Service::NeutronAgent, secs(10)));
+        assert!(plan.is_service_down(NodeId(4), Service::NeutronAgent, secs(1000)));
+        assert!(!plan.is_service_down(NodeId(5), Service::NeutronAgent, secs(1000)));
+    }
+
+    #[test]
+    fn ntp_stop_reports_unhealthy_watcher() {
+        let plan = FaultPlan::none()
+            .with_dep(DepFault::NtpStop { node: NodeId(3), at: secs(5) });
+        assert!(plan.dependency_healthy(NodeId(3), Dependency::NtpAgent, secs(4)));
+        assert!(!plan.dependency_healthy(NodeId(3), Dependency::NtpAgent, secs(6)));
+        assert!(plan.dependency_healthy(
+            NodeId(3),
+            Dependency::ServiceProcess(Service::Cinder),
+            secs(6)
+        ));
+    }
+
+    #[test]
+    fn resource_override_applies_in_window() {
+        let plan = FaultPlan::none().with_resource(ResourceFault {
+            node: NodeId(2),
+            kind: ResourceKind::DiskFreeGb,
+            value: 0.2,
+            from: 0,
+            until: SimTime::MAX,
+        });
+        assert_eq!(plan.resource_override(NodeId(2), ResourceKind::DiskFreeGb, secs(50)), Some(0.2));
+        assert_eq!(plan.resource_override(NodeId(2), ResourceKind::CpuPercent, secs(50)), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gretel-sim — deterministic OpenStack deployment simulator
+//!
+//! GRETEL's evaluation requires a live OpenStack cluster; this crate is the
+//! substitute substrate (see DESIGN.md §1). It simulates a 7-node
+//! deployment running concurrent administrative operations and produces
+//! exactly the two inputs GRETEL consumes:
+//!
+//! 1. the timestamped REST/RPC **message stream** a passive monitor would
+//!    capture (interleaved across concurrent operations, with heartbeat /
+//!    status / Keystone / idempotent-repeat noise), and
+//! 2. collectd-style **telemetry**: per-node resource samples and
+//!    dependency-watcher reports.
+//!
+//! Faults are injected through a [`faults::FaultPlan`]: API error statuses,
+//! `tc`-style latency, service crashes, NTP stops and resource exhaustion.
+//! [`scenario`] packages the paper's §3.1/§7.2 case studies;
+//! [`stream`] generates the §7.4 stress streams.
+//!
+//! Everything is deterministic for a given seed.
+
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod engine;
+pub mod executor;
+pub mod faults;
+pub mod report;
+pub mod resources;
+pub mod scenario;
+pub mod stream;
+
+pub use deployment::{Deployment, NodeSpec};
+pub use engine::{ms, secs, EventQueue, SimTime, SECOND};
+pub use executor::{Execution, InstanceOutcome, NoiseConfig, RunConfig, Runner, WatcherSample};
+pub use faults::{
+    ApiFault, DepFault, FaultPlan, FaultScope, InjectedError, LatencyFault, ResourceFault,
+};
+pub use report::{instance_timeline, summary};
+pub use resources::{Baseline, ResourceKind, ResourceSample};
+pub use scenario::{ExpectedCause, Scenario};
+pub use stream::{StreamConfig, SyntheticStream};

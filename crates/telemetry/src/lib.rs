@@ -1,0 +1,25 @@
+//! # gretel-telemetry — distributed state monitoring
+//!
+//! The collectd + watchers substrate (see DESIGN.md §1): time series of
+//! per-node resource metrics, dependency-watcher state, and the online
+//! level-shift outlier detector GRETEL plugs in where the paper used R's
+//! `tsoutliers` (LS mode).
+//!
+//! * [`series`] — timestamp-ordered series with robust statistics;
+//! * [`outlier`] — pluggable online detectors; [`outlier::LevelShiftDetector`]
+//!   is the default (one alarm per confirmed shift, adaptive re-baselining);
+//! * [`store`] — the analyzer-side [`store::TelemetryStore`] with the
+//!   anomaly queries root cause analysis runs (Algorithm 3).
+
+#![warn(missing_docs)]
+
+pub mod outlier;
+pub mod series;
+pub mod store;
+
+pub use outlier::{
+    detect_all, Anomaly, AnomalyKind, EwmaDetector, LevelShiftConfig, LevelShiftDetector,
+    OutlierDetector, SpikeDetector,
+};
+pub use series::TimeSeries;
+pub use store::{ResourceEvidence, TelemetryStore};

@@ -1,0 +1,134 @@
+//! Property tests on the operation detector (Algorithm 2).
+
+use gretel::core::{Detector, Event, FaultMark, FingerprintLibrary, GretelConfig};
+use gretel::model::{ApiId, Catalog, Category, Direction, MessageId, NodeId, TempestSuite};
+use gretel::sim::Deployment;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn workbench() -> (Arc<Catalog>, FingerprintLibrary, Vec<ApiId>) {
+    let catalog = Catalog::openstack();
+    let counts: Vec<(Category, usize)> =
+        Category::ALL.iter().map(|&c| (c, 10)).collect();
+    let suite = TempestSuite::generate_with_counts(catalog.clone(), 3, &counts);
+    let deployment = Deployment::standard();
+    let (library, _) =
+        FingerprintLibrary::characterize(catalog.clone(), suite.specs(), &deployment, 2, 5);
+    let pool = suite.pools(Category::Compute).rest.clone();
+    (catalog, library, pool)
+}
+
+fn build_events(catalog: &Catalog, apis: &[ApiId], fault_pos: usize, offending: ApiId) -> Vec<Event> {
+    let mut events: Vec<Event> = apis
+        .iter()
+        .enumerate()
+        .map(|(i, &api)| {
+            let def = catalog.get(api);
+            Event {
+                id: MessageId(i as u64),
+                ts: i as u64 * 10,
+                api,
+                direction: Direction::Request,
+                is_rpc: def.is_rpc(),
+                state_change: def.is_state_change(),
+                noise_api: def.noise.is_some(),
+                src_node: NodeId(0),
+                dst_node: NodeId(1),
+                corr: None,
+                fault: FaultMark::None,
+            }
+        })
+        .collect();
+    let def = catalog.get(offending);
+    events[fault_pos] = Event {
+        api: offending,
+        is_rpc: def.is_rpc(),
+        state_change: def.is_state_change(),
+        noise_api: false,
+        fault: FaultMark::RestError(500),
+        ..events[fault_pos]
+    };
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matched_operations_always_contain_the_offending_api(
+        picks in proptest::collection::vec(0usize..195, 32..256),
+        fault_pick in 0usize..195,
+        fault_pos_frac in 0.1f64..0.9,
+    ) {
+        let (catalog, library, pool) = workbench();
+        let apis: Vec<ApiId> = picks.into_iter().map(|i| pool[i % pool.len()]).collect();
+        let offending = pool[fault_pick % pool.len()];
+        let fault_pos = ((apis.len() - 1) as f64 * fault_pos_frac) as usize;
+        let events = build_events(&catalog, &apis, fault_pos, offending);
+
+        let cfg = GretelConfig { alpha: events.len().max(2), ..GretelConfig::default() };
+        let detector = Detector::new(&library, cfg);
+        let out = detector.detect_operational(&events, fault_pos, offending);
+
+        // Every matched operation must be a candidate (contain the API).
+        for op in &out.matched {
+            prop_assert!(
+                library.get(*op).contains(offending),
+                "{op} matched without containing the offending API"
+            );
+        }
+        // Matched is deduplicated and bounded by the candidate count.
+        let mut dedup = out.matched.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), out.matched.len());
+        prop_assert!(out.matched.len() <= out.candidates);
+        // θ is consistent with the matched count.
+        prop_assert!(
+            (out.theta - gretel::core::theta(out.matched.len(), library.len())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn detection_is_deterministic(
+        picks in proptest::collection::vec(0usize..195, 32..128),
+        fault_pick in 0usize..195,
+    ) {
+        let (catalog, library, pool) = workbench();
+        let apis: Vec<ApiId> = picks.into_iter().map(|i| pool[i % pool.len()]).collect();
+        let offending = pool[fault_pick % pool.len()];
+        let fault_pos = apis.len() / 2;
+        let events = build_events(&catalog, &apis, fault_pos, offending);
+        let cfg = GretelConfig { alpha: events.len().max(2), ..GretelConfig::default() };
+        let detector = Detector::new(&library, cfg);
+        let a = detector.detect_operational(&events, fault_pos, offending);
+        let b = detector.detect_operational(&events, fault_pos, offending);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn future_events_do_not_change_operational_detection(
+        picks in proptest::collection::vec(0usize..195, 32..128),
+        future in proptest::collection::vec(0usize..195, 0..64),
+        fault_pick in 0usize..195,
+    ) {
+        // Operational faults abort their operation, so the default policy
+        // anchors at the fault: appending arbitrary future traffic must
+        // not change the matched set.
+        let (catalog, library, pool) = workbench();
+        let apis: Vec<ApiId> = picks.into_iter().map(|i| pool[i % pool.len()]).collect();
+        let offending = pool[fault_pick % pool.len()];
+        let fault_pos = apis.len() - 1;
+        let base = build_events(&catalog, &apis, fault_pos, offending);
+
+        let mut extended_apis = apis.clone();
+        extended_apis.extend(future.into_iter().map(|i| pool[i % pool.len()]));
+        let extended = build_events(&catalog, &extended_apis, fault_pos, offending);
+
+        let cfg = GretelConfig { alpha: extended.len().max(2), ..GretelConfig::default() };
+        let detector = Detector::new(&library, cfg);
+        let a = detector.detect_operational(&base, fault_pos, offending);
+        let b = detector.detect_operational(&extended, fault_pos, offending);
+        prop_assert_eq!(a.matched, b.matched);
+    }
+}

@@ -47,9 +47,39 @@ fn bench_fingerprint(c: &mut Criterion) {
     group.finish();
 }
 
+/// Offline characterization: sequential vs. the scoped-thread worker pool
+/// (byte-identical output, see `parallel_characterize_is_byte_identical`).
+fn bench_characterize_parallel(c: &mut Criterion) {
+    use gretel_core::FingerprintLibrary;
+    use gretel_model::{Category, TempestSuite};
+    use gretel_sim::Deployment;
+
+    let catalog = Catalog::openstack();
+    let counts: Vec<(Category, usize)> = Category::ALL.iter().map(|&c| (c, 12)).collect();
+    let suite = TempestSuite::generate_with_counts(catalog.clone(), 42, &counts);
+    let deployment = Deployment::standard();
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                FingerprintLibrary::characterize_parallel(
+                    catalog.clone(),
+                    suite.specs(),
+                    &deployment,
+                    2,
+                    7,
+                    t,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_fingerprint
+    targets = bench_fingerprint, bench_characterize_parallel
 }
 criterion_main!(benches);

@@ -17,6 +17,46 @@ fn stream(wb: &Workbench, fault_every: usize, n: usize) -> Vec<Message> {
     SyntheticStream::new(wb.catalog.clone(), &specs, cfg).collect()
 }
 
+/// Detection fast path: cached candidate patterns vs. deriving the same
+/// slices from fingerprints per fault (what every detection did before the
+/// pattern cache).
+fn bench_pattern_cache(c: &mut Criterion) {
+    let wb = Workbench::new(42);
+    let lib = &wb.library;
+    let catalog = &wb.catalog;
+    let apis: Vec<_> = (0..catalog.len() as u16)
+        .map(gretel_model::ApiId)
+        .filter(|&a| !lib.candidates(a).is_empty())
+        .step_by(7)
+        .collect();
+    let mut group = c.benchmark_group("pattern_cache");
+    group.bench_function("cached_candidate_patterns", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &api in &apis {
+                for p in lib.candidate_patterns(api, true) {
+                    total += p.lits_pruned.len();
+                }
+            }
+            total
+        })
+    });
+    group.bench_function("fresh_derivation", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &api in &apis {
+                for &op in lib.candidates(api) {
+                    for fp in lib.get(op).truncate_at_each(api) {
+                        total += fp.literals(catalog, true).len();
+                    }
+                }
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let wb = Workbench::new(42);
     let mut group = c.benchmark_group("analyzer_throughput");
@@ -56,6 +96,6 @@ fn bench_throughput(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_throughput
+    targets = bench_throughput, bench_pattern_cache
 }
 criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The pattern cache against its oracle at full scale: for every API in
+//! the catalog, the precomputed candidate patterns of the 1200-test
+//! workbench library must equal a fresh derivation from the fingerprints.
+//! (gretel-core carries the same check on a small library; this covers the
+//! real distribution of fingerprint shapes.)
+
+use gretel_bench::Workbench;
+use gretel_model::ApiId;
+
+#[test]
+fn cached_patterns_equal_fresh_derivation_across_the_full_suite() {
+    let wb = Workbench::small(42, 40); // 200 tests: full-suite shape, testable in debug
+    let lib = &wb.library;
+    let catalog = &wb.catalog;
+    for api in (0..catalog.len() as u16).map(ApiId) {
+        for truncate in [true, false] {
+            let cached = lib.candidate_patterns(api, truncate);
+            let mut fresh_idx = 0usize;
+            for &op in lib.candidates(api) {
+                let fp = lib.get(op);
+                let fresh_fps = if truncate {
+                    fp.truncate_at_each(api)
+                } else {
+                    vec![fp.clone()]
+                };
+                for ffp in fresh_fps {
+                    let p = &cached[fresh_idx];
+                    fresh_idx += 1;
+                    assert_eq!(p.op, op);
+                    assert_eq!(p.apis, ffp.api_seq(), "api {api:?} op {op:?}");
+                    assert_eq!(p.lits_all, ffp.literals(catalog, false));
+                    assert_eq!(p.lits_pruned, ffp.literals(catalog, true));
+                }
+            }
+            assert_eq!(fresh_idx, cached.len(), "api {api:?} truncate {truncate}");
+        }
+    }
+}

@@ -19,8 +19,9 @@
 
 use crate::anomaly::{scan_rest_error, scan_rpc_error, LatencyPairer};
 use crate::config::GretelConfig;
-use crate::detect::Detector;
+use crate::detect::{Detector, SnapshotIndex};
 use crate::event::{Event, FaultMark};
+use crate::fasthash::FastSet;
 use crate::fingerprint::FingerprintLibrary;
 use crate::perf::{PerfFault, PerfMonitor};
 use crate::rca::RcaEngine;
@@ -29,9 +30,9 @@ use crate::window::{SlidingWindow, Snapshot};
 use gretel_model::{Message, MessageId, NodeId, OperationSpec, WireKind};
 use gretel_sim::Deployment;
 use gretel_telemetry::{LevelShiftConfig, TelemetryStore};
-use std::collections::HashSet;
 
 /// Everything RCA needs; optional on the analyzer.
+#[derive(Clone, Copy)]
 pub struct RcaContext<'a> {
     /// The deployment topology (service → nodes).
     pub deployment: &'a Deployment,
@@ -66,7 +67,7 @@ pub struct Analyzer<'a> {
     window: SlidingWindow,
     pairer: LatencyPairer,
     perf: PerfMonitor,
-    analyzed_errors: HashSet<MessageId>,
+    analyzed_errors: FastSet<MessageId>,
     pending_perf: Vec<(MessageId, PerfFault)>,
     stats: AnalyzerStats,
     auto_alpha: Option<AutoAlpha>,
@@ -113,7 +114,7 @@ impl<'a> Analyzer<'a> {
             rca: None,
             pairer: LatencyPairer::new(),
             perf,
-            analyzed_errors: HashSet::new(),
+            analyzed_errors: FastSet::default(),
             pending_perf: Vec::new(),
             stats: AnalyzerStats::default(),
             auto_alpha: None,
@@ -155,8 +156,12 @@ impl<'a> Analyzer<'a> {
         self.perf.history(api)
     }
 
-    /// Ingest one captured message; returns diagnoses completed by it.
-    pub fn process(&mut self, msg: &Message) -> Vec<Diagnosis> {
+    /// The per-message fast path: scan, pair, window-push — everything
+    /// *stateful* — and return the snapshot jobs this message completed,
+    /// without analyzing them. [`Self::process`] analyzes inline; a
+    /// sharded service ships the jobs to a worker pool instead (see
+    /// [`crate::service::run_service_sharded`]).
+    pub fn ingest(&mut self, msg: &Message) -> Vec<SnapshotJob> {
         self.stats.messages += 1;
         self.stats.bytes += msg.payload.len() as u64;
 
@@ -216,12 +221,12 @@ impl<'a> Analyzer<'a> {
             }
         }
 
-        // 3. Window push; completed snapshots get analyzed.
+        // 3. Window push; completed snapshots become jobs (the stateful
+        // part: stats, perf folding, error dedup), analyzed below.
         let snapshots = self.window.push(ev);
-        let mut out = Vec::new();
+        let mut jobs = Vec::with_capacity(snapshots.len());
         for snap in snapshots {
-            self.stats.snapshots += 1;
-            out.extend(self.analyze_snapshot(&snap));
+            jobs.push(self.prepare_job(snap));
         }
 
         // 4. Arm new snapshots. Operational: REST errors only (§5.3.1);
@@ -239,33 +244,114 @@ impl<'a> Analyzer<'a> {
                 self.pending_perf.push((ev.id, pf));
             }
         }
-        out
+        jobs
+    }
+
+    /// Ingest one captured message; returns diagnoses completed by it.
+    pub fn process(&mut self, msg: &Message) -> Vec<Diagnosis> {
+        let jobs = self.ingest(msg);
+        if jobs.is_empty() {
+            return Vec::new(); // the common case: nothing froze
+        }
+        let sa = self.snapshot_analyzer();
+        jobs.iter().flat_map(|job| sa.analyze(job)).collect()
     }
 
     /// Flush at stream end: complete pending snapshots with the context
     /// available.
     pub fn finish(&mut self) -> Vec<Diagnosis> {
-        let snaps = self.window.flush();
-        let mut out = Vec::new();
-        for snap in snaps {
-            self.stats.snapshots += 1;
-            out.extend(self.analyze_snapshot(&snap));
-        }
-        out
+        let jobs = self.finish_jobs();
+        let sa = self.snapshot_analyzer();
+        jobs.iter().flat_map(|job| sa.analyze(job)).collect()
     }
 
-    fn analyze_snapshot(&mut self, snap: &Snapshot) -> Vec<Diagnosis> {
-        let detector = Detector::new(self.lib, self.cfg);
-        let mut out = Vec::new();
+    /// Stream-end counterpart of [`Self::ingest`]: flush pending snapshots
+    /// into jobs without analyzing them.
+    pub fn finish_jobs(&mut self) -> Vec<SnapshotJob> {
+        let snaps = self.window.flush();
+        let mut jobs = Vec::with_capacity(snaps.len());
+        for snap in snaps {
+            jobs.push(self.prepare_job(snap));
+        }
+        jobs
+    }
 
+    /// A detached snapshot analyzer sharing this analyzer's library,
+    /// configuration and RCA context. It borrows the *referenced* data
+    /// (lifetime `'a`), not the analyzer itself, so jobs can be analyzed on
+    /// other threads while the analyzer keeps ingesting.
+    pub fn snapshot_analyzer(&self) -> SnapshotAnalyzer<'a> {
+        SnapshotAnalyzer { cfg: self.cfg, lib: self.lib, rca: self.rca }
+    }
+
+    fn prepare_job(&mut self, snap: Snapshot) -> SnapshotJob {
+        self.stats.snapshots += 1;
         // Performance faults folded into this snapshot.
         let perf: Vec<(MessageId, PerfFault)> = std::mem::take(&mut self.pending_perf);
-        for (msg_id, pf) in perf {
-            let idx = snap.events.iter().position(|e| e.id == msg_id);
+        // Claim every unanalyzed error event (the REST error that armed
+        // the snapshot plus any RPC/REST errors nearby). The dedup set is
+        // consulted exactly here — single-threaded — so analysis itself
+        // needs no shared state.
+        let errors: Vec<usize> = snap
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, ev)| ev.fault.is_error() && !ev.noise_api)
+            .filter(|(_, ev)| self.analyzed_errors.insert(ev.id))
+            .map(|(idx, _)| idx)
+            .collect();
+        SnapshotJob { snap, perf, errors }
+    }
+}
+
+/// A frozen snapshot plus the receiver-side decisions that accompany it:
+/// which perf faults folded into it and which error events it claimed from
+/// the dedup set. Prepared by [`Analyzer::ingest`] on the capture thread;
+/// analyzed — statelessly, on any thread — by [`SnapshotAnalyzer`].
+#[derive(Debug, Clone)]
+pub struct SnapshotJob {
+    snap: Snapshot,
+    perf: Vec<(MessageId, PerfFault)>,
+    errors: Vec<usize>,
+}
+
+impl SnapshotJob {
+    /// The frozen snapshot under analysis.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+}
+
+/// The stateless half of the analyzer: runs Algorithm 2 + RCA over a
+/// prepared [`SnapshotJob`]. `Copy`, and borrows only the library /
+/// telemetry — hand one to each worker of an analysis pool.
+#[derive(Clone, Copy)]
+pub struct SnapshotAnalyzer<'a> {
+    cfg: GretelConfig,
+    lib: &'a FingerprintLibrary,
+    rca: Option<RcaContext<'a>>,
+}
+
+impl<'a> SnapshotAnalyzer<'a> {
+    /// Analyze one prepared snapshot job; pure aside from the borrowed
+    /// read-only context, so calls from different threads commute.
+    pub fn analyze(&self, job: &SnapshotJob) -> Vec<Diagnosis> {
+        if job.perf.is_empty() && job.errors.is_empty() {
+            return Vec::new(); // clean snapshot: nothing to detect
+        }
+        let detector = Detector::new(self.lib, self.cfg);
+        let snap = &job.snap;
+        // One shared O(α) pass; every detection below is sub-linear in the
+        // snapshot after this.
+        let sidx = SnapshotIndex::new(&snap.events);
+        let mut out = Vec::new();
+
+        for (msg_id, pf) in &job.perf {
+            let idx = snap.events.iter().position(|e| e.id == *msg_id);
             let Some(idx) = idx else {
                 continue; // anomaly's event already slid out; skip
             };
-            let outcome = detector.detect_performance(&snap.events, pf.api);
+            let outcome = detector.detect_performance_indexed(&snap.events, &sidx, pf.api);
             let kind = FaultKind::Performance {
                 observed_ms: pf.anomaly.value / 1000.0,
                 baseline_ms: pf.anomaly.baseline / 1000.0,
@@ -273,20 +359,13 @@ impl<'a> Analyzer<'a> {
             out.push(self.finalize(kind, pf.api, &snap.events, snap.events[idx], outcome));
         }
 
-        // Operational: every unanalyzed error event in the snapshot (the
-        // REST error that armed it plus any RPC/REST errors nearby).
-        for (idx, ev) in snap.events.iter().enumerate() {
-            if !ev.fault.is_error() || ev.noise_api {
-                continue;
-            }
-            if !self.analyzed_errors.insert(ev.id) {
-                continue;
-            }
-            let outcome = detector.detect_operational(&snap.events, idx, ev.api);
+        for &idx in &job.errors {
+            let ev = &snap.events[idx];
+            let outcome = detector.detect_operational_indexed(&snap.events, &sidx, idx, ev.api);
             let kind = match ev.fault {
                 FaultMark::RestError(s) => FaultKind::Operational { status: Some(s), rpc: false },
                 FaultMark::RpcError => FaultKind::Operational { status: None, rpc: true },
-                FaultMark::None => unreachable!("filtered above"),
+                FaultMark::None => unreachable!("jobs only claim error events"),
             };
             out.push(self.finalize(kind, ev.api, &snap.events, *ev, outcome));
         }

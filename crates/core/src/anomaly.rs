@@ -7,9 +7,9 @@
 //! that turns message timestamps into per-API latency observations —
 //! REST pairs by TCP connection metadata, RPC pairs by message id.
 
+use crate::fasthash::FastMap;
 use gretel_model::{ApiId, ConnKey, Message, WireKind};
 use gretel_sim::SimTime;
-use std::collections::HashMap;
 
 /// Scan an HTTP payload for an error status line (`HTTP/1.1 NNN` with
 /// `NNN >= 400`). Returns the status when found.
@@ -27,10 +27,49 @@ pub fn scan_rest_error(payload: &[u8]) -> Option<u16> {
 }
 
 /// Scan an oslo.messaging payload for a serialized exception. oslo embeds
-/// failures as a `"failure"` object; the scan is a plain substring search.
+/// failures as a `"failure"` object; the scan is a substring search
+/// anchored on the needle's rarest byte (`f` — JSON payloads are dense in
+/// quotes but sparse in `f`s), located with a word-at-a-time byte scan.
+/// The common clean-payload case touches each byte once, eight at a time,
+/// instead of comparing a 9-byte window at every offset.
 pub fn scan_rpc_error(payload: &[u8]) -> bool {
     const NEEDLE: &[u8] = b"\"failure\"";
-    payload.windows(NEEDLE.len()).any(|w| w == NEEDLE)
+    if payload.len() < NEEDLE.len() {
+        return false;
+    }
+    let mut i = 1; // the anchor byte sits at offset 1 of the needle
+    while let Some(off) = find_byte(&payload[i..], b'f') {
+        let start = i + off - 1;
+        if payload.len() - start >= NEEDLE.len() && &payload[start..start + NEEDLE.len()] == NEEDLE
+        {
+            return true;
+        }
+        i += off + 1;
+    }
+    false
+}
+
+/// First position of `b` in `hay`, scanning a 64-bit word per step (the
+/// usual SWAR zero-byte trick).
+#[inline]
+fn find_byte(hay: &[u8], b: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let pat = (b as u64) * LO;
+    let mut chunks = hay.chunks_exact(8);
+    let mut base = 0usize;
+    for c in chunks.by_ref() {
+        let w = u64::from_le_bytes(c.try_into().unwrap()) ^ pat;
+        if w.wrapping_sub(LO) & !w & HI != 0 {
+            for (j, &x) in c.iter().enumerate() {
+                if x == b {
+                    return Some(base + j);
+                }
+            }
+        }
+        base += 8;
+    }
+    chunks.remainder().iter().position(|&x| x == b).map(|j| base + j)
 }
 
 /// One latency observation produced by pairing.
@@ -48,8 +87,8 @@ pub struct LatencyObs {
 /// message ids, emitting [`LatencyObs`] as responses arrive.
 #[derive(Debug, Default)]
 pub struct LatencyPairer {
-    rest: HashMap<(ConnKey, ApiId), SimTime>,
-    rpc: HashMap<u64, (ApiId, SimTime)>,
+    rest: FastMap<(ConnKey, ApiId), SimTime>,
+    rpc: FastMap<u64, (ApiId, SimTime)>,
 }
 
 impl LatencyPairer {
@@ -130,6 +169,25 @@ mod tests {
         assert_eq!(scan_rest_error(&req), None);
         assert_eq!(scan_rest_error(b""), None);
         assert_eq!(scan_rest_error(b"HTTP/1.1 XYZ"), None);
+    }
+
+    #[test]
+    fn rpc_scan_finds_the_needle_at_any_alignment() {
+        // The word-at-a-time scan must agree with a naive scan regardless
+        // of where the needle sits relative to 8-byte chunk boundaries.
+        for pad in 0..32 {
+            let mut p = vec![b'x'; pad];
+            p.extend_from_slice(b"\"failure\"");
+            p.extend_from_slice(&[b'x'; 16]);
+            assert!(scan_rpc_error(&p), "pad {pad}");
+
+            // Anchor bytes everywhere but no needle.
+            let mut clean = vec![b'f'; pad + 16];
+            assert!(!scan_rpc_error(&clean), "pad {pad}");
+            // A needle clipped at the end must not match.
+            clean.extend_from_slice(b"\"failure");
+            assert!(!scan_rpc_error(&clean), "pad {pad}");
+        }
     }
 
     #[test]

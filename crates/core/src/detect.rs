@@ -20,8 +20,8 @@
 
 use crate::config::{theta, GretelConfig};
 use crate::event::Event;
-use crate::fingerprint::{Fingerprint, FingerprintLibrary};
-use crate::matcher::{matches_relaxed, matches_strict};
+use crate::fingerprint::{CandidatePattern, FingerprintLibrary};
+use crate::matcher::PositionIndex;
 use crate::window::Snapshot;
 use gretel_model::{ApiId, OpSpecId};
 
@@ -37,6 +37,58 @@ pub struct DetectionOutcome {
     /// Candidate count before snapshot matching — what matching "with API
     /// error" alone would report (the baseline bars of Fig 7b/7c).
     pub candidates: usize,
+}
+
+/// Per-snapshot preprocessing shared by every detection over one frozen
+/// snapshot: the noise-filtered API projection, the per-API occurrence
+/// index over it, a prefix-count mapping event index → projection
+/// position, and the non-noise events grouped by correlation id.
+///
+/// A snapshot frequently claims *many* error events (every unanalyzed
+/// error in the window rides along — §5.3.1). Rebuilding the O(α)
+/// projection per error made detection O(errors · α); building this once
+/// per snapshot makes each detection sub-linear in the snapshot size.
+pub struct SnapshotIndex {
+    /// Noise-filtered API projection of the whole snapshot.
+    apis: Vec<ApiId>,
+    /// Per-API occurrence index over `apis`.
+    index: PositionIndex,
+    /// `prefix[i]` = number of non-noise events before index `i` — the
+    /// projection position an event at `i` maps to.
+    prefix: Vec<u32>,
+    /// Non-noise event indices grouped by correlation id, in order.
+    by_corr: crate::fasthash::FastMap<u64, Vec<u32>>,
+}
+
+impl SnapshotIndex {
+    /// One O(snapshot) pass building every shared structure.
+    pub fn new(events: &[Event]) -> SnapshotIndex {
+        let mut apis = Vec::with_capacity(events.len());
+        let mut prefix = Vec::with_capacity(events.len());
+        let mut by_corr: crate::fasthash::FastMap<u64, Vec<u32>> = Default::default();
+        for (i, e) in events.iter().enumerate() {
+            prefix.push(apis.len() as u32);
+            if e.noise_api {
+                continue;
+            }
+            apis.push(e.api);
+            if let Some(c) = e.corr {
+                by_corr.entry(c).or_default().push(i as u32);
+            }
+        }
+        let index = PositionIndex::new(&apis);
+        SnapshotIndex { apis, index, prefix, by_corr }
+    }
+
+    /// The noise-filtered API projection.
+    pub fn apis(&self) -> &[ApiId] {
+        &self.apis
+    }
+
+    /// Non-noise event indices carrying correlation id `corr`, in order.
+    pub fn corr_events(&self, corr: u64) -> &[u32] {
+        self.by_corr.get(&corr).map(Vec::as_slice).unwrap_or(&[])
+    }
 }
 
 /// Operation detector bound to a fingerprint library and a configuration.
@@ -70,9 +122,25 @@ impl<'a> Detector<'a> {
         fault_index: usize,
         offending: ApiId,
     ) -> DetectionOutcome {
-        let patterns = self.truncated_patterns(offending);
+        let sidx = SnapshotIndex::new(events);
+        self.detect_operational_indexed(events, &sidx, fault_index, offending)
+    }
+
+    /// [`Self::detect_operational`] against a prebuilt [`SnapshotIndex`] —
+    /// the analyzer builds the index once per snapshot and runs every
+    /// claimed error through it.
+    pub fn detect_operational_indexed(
+        &self,
+        events: &[Event],
+        sidx: &SnapshotIndex,
+        fault_index: usize,
+        offending: ApiId,
+    ) -> DetectionOutcome {
+        // All pattern slices come precomputed from the library's pattern
+        // cache — nothing is derived (or allocated) per fault.
+        let patterns = self.lib.candidate_patterns(offending, self.cfg.truncate);
         let candidates = self.lib.candidates(offending).len();
-        let mut out = self.match_with_context(events, fault_index, &patterns);
+        let mut out = self.match_with_context(events, sidx, fault_index, &patterns);
         out.candidates = candidates;
         out
     }
@@ -93,8 +161,19 @@ impl<'a> Detector<'a> {
     /// any finite window), matched over the whole context buffer (§5.3.1
     /// "Improving precision").
     pub fn detect_performance(&self, events: &[Event], offending: ApiId) -> DetectionOutcome {
-        let catalog = self.lib.catalog();
-        let buffer = buffer_apis(events, 0, events.len());
+        let sidx = SnapshotIndex::new(events);
+        self.detect_performance_indexed(events, &sidx, offending)
+    }
+
+    /// [`Self::detect_performance`] against a prebuilt [`SnapshotIndex`].
+    pub fn detect_performance_indexed(
+        &self,
+        events: &[Event],
+        sidx: &SnapshotIndex,
+        offending: ApiId,
+    ) -> DetectionOutcome {
+        let buffer = sidx.apis();
+        let index = &sidx.index;
         // Tighter bound than the operational path: the anomaly sits
         // mid-operation and only nearby steps are reliably inside the
         // window. RPC symbols are kept — performance faults frequently
@@ -105,10 +184,9 @@ impl<'a> Detector<'a> {
             .iter()
             .filter(|&&op| {
                 self.lib
-                    .get(op)
-                    .centered_literals(catalog, false, offending, k)
+                    .centered_patterns(op, offending, k)
                     .iter()
-                    .any(|pattern| crate::lcs::is_subsequence(pattern, &buffer))
+                    .any(|pattern| index.contains_subsequence(pattern, 0, buffer.len()))
             })
             .copied()
             .collect();
@@ -122,35 +200,39 @@ impl<'a> Detector<'a> {
         }
     }
 
-    fn truncated_patterns(&self, offending: ApiId) -> Vec<Fingerprint> {
-        self.lib
-            .candidates(offending)
-            .iter()
-            .flat_map(|&op| {
-                let fp = self.lib.get(op);
-                if self.cfg.truncate {
-                    // One pattern per possible truncation point; a
-                    // candidate operation matches if any of them does.
-                    fp.truncate_at_each(offending)
-                } else {
-                    vec![fp.clone()]
-                }
-            })
-            .collect()
+    /// Apply the `max_literals` bound: keep the most recent `k` literals.
+    fn bounded<'p>(&self, lits: &'p [ApiId]) -> &'p [ApiId] {
+        match self.cfg.max_literals {
+            Some(k) if lits.len() > k => &lits[lits.len() - k..],
+            _ => lits,
+        }
     }
 
-    fn match_patterns(&self, patterns: &[Fingerprint], buffer: &[ApiId]) -> Vec<OpSpecId> {
-        let catalog = self.lib.catalog();
+    fn match_patterns(
+        &self,
+        patterns: &[CandidatePattern<'_>],
+        index: &PositionIndex,
+        lo: usize,
+        hi: usize,
+    ) -> Vec<OpSpecId> {
         let mut matched: Vec<OpSpecId> = if self.cfg.relaxed {
             patterns
                 .iter()
-                .filter(|fp| {
-                    matches_relaxed(fp, catalog, self.cfg.prune_rpcs, self.cfg.max_literals, buffer)
+                .filter(|p| {
+                    index.contains_subsequence(
+                        self.bounded(p.literals(self.cfg.prune_rpcs)),
+                        lo,
+                        hi,
+                    )
                 })
-                .map(|fp| fp.op)
+                .map(|p| p.op)
                 .collect()
         } else {
-            patterns.iter().filter(|fp| matches_strict(fp, buffer)).map(|fp| fp.op).collect()
+            patterns
+                .iter()
+                .filter(|p| index.contains_subsequence(p.apis, lo, hi))
+                .map(|p| p.op)
+                .collect()
         };
         matched.sort();
         matched.dedup();
@@ -179,10 +261,10 @@ impl<'a> Detector<'a> {
     fn match_with_context(
         &self,
         events: &[Event],
+        sidx: &SnapshotIndex,
         fault_index: usize,
-        patterns: &[Fingerprint],
+        patterns: &[CandidatePattern<'_>],
     ) -> DetectionOutcome {
-        // Project the snapshot onto its noise-filtered API sequence once.
         // When the deployment propagates correlation ids and the fault
         // message carries one, restrict the buffer to the faulty
         // operation's own messages — the §5.3.1 precision enhancement.
@@ -191,23 +273,6 @@ impl<'a> Detector<'a> {
         } else {
             None
         };
-        let mut filtered: Vec<ApiId> = Vec::with_capacity(events.len());
-        let mut center = 0usize;
-        for (i, e) in events.iter().enumerate() {
-            if i == fault_index {
-                center = filtered.len();
-            }
-            if e.noise_api {
-                continue;
-            }
-            if let Some(corr) = corr_filter {
-                if e.corr != Some(corr) && i != fault_index {
-                    continue;
-                }
-            }
-            filtered.push(e.api);
-        }
-        let n_events = filtered.len();
         let h0 = (self.cfg.beta0() / 2).max(1);
         let delta = self.cfg.delta();
 
@@ -217,7 +282,15 @@ impl<'a> Detector<'a> {
         // only candidates whose truncated fingerprint literals equal the
         // observed literals survive. Far stronger than presence matching —
         // this is precisely the precision gain §5.3.1 predicts.
-        if corr_filter.is_some() {
+        if let Some(corr) = corr_filter {
+            // The operation's own messages come straight from the
+            // snapshot index's corr groups; the fault (non-noise, same
+            // corr) is one of them, so its projection position is its rank
+            // among them.
+            let cps = sidx.corr_events(corr);
+            let filtered: Vec<ApiId> = cps.iter().map(|&ei| events[ei as usize].api).collect();
+            let center = cps.partition_point(|&ei| (ei as usize) < fault_index);
+
             let catalog = self.lib.catalog();
             // The operation's own message sequence: collapse request/
             // response pairs (consecutive after the corr restriction) and
@@ -225,12 +298,7 @@ impl<'a> Detector<'a> {
             // when the fingerprint was learned, so both sides are in the
             // same normal form. Every symbol is reliable here — there is
             // no interleaving — so starred atoms participate too.
-            let raw: Vec<ApiId> = dedup_consecutive(
-                events
-                    .iter()
-                    .filter(|e| !e.noise_api && e.corr == corr_filter)
-                    .map(|e| e.api),
-            );
+            let raw: Vec<ApiId> = dedup_consecutive(filtered.iter().copied());
             let buf_seq = crate::noise_filter::filter_noise(catalog, &raw);
             let buf_literals: Vec<ApiId> =
                 buf_seq.iter().copied().filter(|&a| catalog.get(a).is_state_change()).collect();
@@ -245,12 +313,12 @@ impl<'a> Detector<'a> {
             //    can never be foreign symbols).
             let mut exact: Vec<OpSpecId> = patterns
                 .iter()
-                .filter(|fp| {
+                .filter(|p| {
                     !buf_literals.is_empty()
-                        && fp.literals(catalog, false).ends_with(&buf_literals)
-                        && crate::lcs::is_subsequence(&buf_seq, &fp.api_seq())
+                        && p.lits_all.ends_with(&buf_literals)
+                        && crate::lcs::is_subsequence(&buf_seq, p.apis)
                 })
-                .map(|fp| fp.op)
+                .map(|p| p.op)
                 .collect();
             exact.sort();
             exact.dedup();
@@ -264,23 +332,50 @@ impl<'a> Detector<'a> {
             }
             // Normal-form mismatch (e.g. the window clipped mid-pair):
             // fall through to subsequence matching over the (already
-            // corr-restricted) buffer.
+            // corr-restricted, and therefore small) buffer, with a local
+            // index. The scored path is anchored at the fault, so it only
+            // ever consults positions <= center — index exactly those.
+            if let Some(slack) = self.cfg.scored_slack {
+                let upper = (center + 1).min(filtered.len());
+                let index = PositionIndex::new(&filtered[..upper]);
+                return self.match_scored(&filtered, &index, center, patterns, slack, h0, delta);
+            }
+            let index = PositionIndex::new(&filtered);
+            return self.match_presence(&filtered, &index, center, patterns, h0, delta);
         }
 
+        // No corr restriction: the snapshot-wide projection and occurrence
+        // index are shared across every detection in the snapshot. Both
+        // query kinds bound their own search range, so the one full index
+        // serves the anchored scored path and every presence growth step
+        // alike.
+        let filtered = sidx.apis();
+        let center = sidx.prefix.get(fault_index).map(|&p| p as usize).unwrap_or(0);
         if let Some(slack) = self.cfg.scored_slack {
-            return self.match_scored(&filtered, center, patterns, slack, h0, delta);
+            return self.match_scored(filtered, &sidx.index, center, patterns, slack, h0, delta);
         }
+        self.match_presence(filtered, &sidx.index, center, patterns, h0, delta)
+    }
 
-        // Presence policy with the paper's θ-drop stop rule (iterative).
+    /// Presence policy with the paper's θ-drop stop rule (iterative).
+    fn match_presence(
+        &self,
+        filtered: &[ApiId],
+        index: &PositionIndex,
+        center: usize,
+        patterns: &[CandidatePattern<'_>],
+        h0: usize,
+        delta: usize,
+    ) -> DetectionOutcome {
+        let n_events = filtered.len();
         let mut half = h0;
         let mut prev: Option<(Vec<OpSpecId>, usize)> = None;
         loop {
             let lo = center.saturating_sub(half);
             let hi = (center + half + 1).min(n_events);
-            let buffer = &filtered[lo..hi];
             let beta_used = hi - lo;
             let covered = lo == 0 && hi == n_events;
-            let matched = self.match_patterns(patterns, buffer);
+            let matched = self.match_patterns(patterns, index, lo, hi);
             if !self.cfg.grow_full {
                 if let Some((prev_matched, prev_beta)) = &prev {
                     if !prev_matched.is_empty() && matched.len() > prev_matched.len() {
@@ -310,52 +405,33 @@ impl<'a> Detector<'a> {
     fn match_scored(
         &self,
         filtered: &[ApiId],
+        index: &PositionIndex,
         center: usize,
-        patterns: &[Fingerprint],
+        patterns: &[CandidatePattern<'_>],
         slack: usize,
         h0: usize,
         delta: usize,
     ) -> DetectionOutcome {
-        let catalog = self.lib.catalog();
-        // Occurrence index over the anchored past (positions <= center).
-        let mut positions: std::collections::HashMap<ApiId, Vec<usize>> =
-            std::collections::HashMap::new();
+        // Anchored at the fault: only positions <= center count as
+        // evidence (operational faults abort, so nothing after the fault
+        // belongs to the faulty operation).
         let upper = (center + 1).min(filtered.len());
-        for (i, &api) in filtered[..upper].iter().enumerate() {
-            positions.entry(api).or_default().push(i);
-        }
-
-        // Greedy backward match: the minimal past half-width at which the
-        // pattern is fully present, or None when it never completes.
-        let min_half = |pattern: &[ApiId]| -> Option<usize> {
-            let mut bound = upper; // exclusive upper bound for the next literal
-            for &lit in pattern.iter().rev() {
-                let occ = positions.get(&lit)?;
-                let idx = occ.partition_point(|&p| p < bound);
-                if idx == 0 {
-                    return None;
-                }
-                bound = occ[idx - 1];
-            }
-            Some(center - bound)
-        };
 
         let mut long: Vec<(usize, usize, OpSpecId)> = Vec::new(); // (h*, len, op)
         let mut short: Vec<(usize, OpSpecId)> = Vec::new();
-        for fp in patterns {
-            let literals = fp.literals(catalog, self.cfg.prune_rpcs);
-            let pattern: &[ApiId] = match self.cfg.max_literals {
-                Some(k) if literals.len() > k => &literals[literals.len() - k..],
-                _ => &literals[..],
-            };
+        for p in patterns {
+            let pattern = self.bounded(p.literals(self.cfg.prune_rpcs));
             if pattern.is_empty() {
                 continue;
             }
-            if let Some(h) = min_half(pattern) {
+            // Greedy backward match: the minimal past half-width at which
+            // the pattern is fully present, or None when it never
+            // completes.
+            if let Some(h) = index.min_anchored_half(pattern, center, upper) {
                 if pattern.len() >= self.cfg.min_pattern {
-                    long.push((h, pattern.len(), fp.op));
+                    long.push((h, pattern.len(), p.op));
                 } else {
-                    short.push((h, fp.op));
+                    short.push((h, p.op));
                 }
             }
         }
@@ -400,16 +476,13 @@ impl<'a> Detector<'a> {
     }
 }
 
-/// Project a slice of events onto its API sequence, dropping noise-class
-/// APIs (GRETEL knows heartbeats/status RPCs are noise and prunes them
-/// before matching).
-fn buffer_apis(events: &[Event], lo: usize, hi: usize) -> Vec<ApiId> {
-    events[lo..hi].iter().filter(|e| !e.noise_api).map(|e| e.api).collect()
-}
-
 /// Collapse consecutive duplicate symbols (a serial operation's REST
 /// request/response pairs and RPC call/reply pairs are adjacent in its
 /// correlation-restricted stream).
+// Deliberately NOT pre-reserved: the input is the corr-restricted stream
+// (typically dozens of symbols) but the filter's size hint is the whole
+// window — reserving the upper bound would allocate α-sized buffers per
+// fault.
 fn dedup_consecutive(iter: impl Iterator<Item = ApiId>) -> Vec<ApiId> {
     let mut out: Vec<ApiId> = Vec::new();
     for api in iter {

@@ -55,12 +55,21 @@ impl Fingerprint {
     /// for a relaxed match. With `prune_rpcs` (the §6 optimization) RPC
     /// symbols are dropped from the pattern.
     pub fn literals(&self, catalog: &Catalog, prune_rpcs: bool) -> Vec<ApiId> {
+        self.literals_iter(catalog, prune_rpcs).collect()
+    }
+
+    /// Iterator form of [`Self::literals`] for callers that only count or
+    /// scan the literal sequence — no intermediate `Vec`.
+    pub fn literals_iter<'a>(
+        &'a self,
+        catalog: &'a Catalog,
+        prune_rpcs: bool,
+    ) -> impl Iterator<Item = ApiId> + 'a {
         self.atoms
             .iter()
             .filter(|a| !a.starred)
-            .filter(|a| !(prune_rpcs && catalog.get(a.api).is_rpc()))
+            .filter(move |a| !(prune_rpcs && catalog.get(a.api).is_rpc()))
             .map(|a| a.api)
-            .collect()
     }
 
     /// All atom APIs in order (for strict matching and set overlap).
@@ -194,6 +203,91 @@ pub fn generate_fingerprint(
     Fingerprint { op, atoms }
 }
 
+/// Precomputed pattern data for one fingerprint: every slice a detector
+/// can ask for — full or truncated atom sequences, literal sequences with
+/// or without RPC pruning, bounded centred windows — is a borrow into
+/// these vectors. Built once when the fingerprint is indexed; the fault
+/// path never re-derives a pattern.
+///
+/// Key observation: `Fingerprint::literals` is an order-preserving
+/// projection of the atoms, so the literal sequence of *any* truncated
+/// prefix is itself a prefix of the full literal sequence, and a centred
+/// literal window is a contiguous slice of it. Per occurrence of each API
+/// it therefore suffices to record how many literals precede it and
+/// whether the occurrence itself is a literal.
+#[derive(Debug, Clone)]
+struct FpPatterns {
+    /// Full atom API sequence (strict / correlation matching).
+    apis: Vec<ApiId>,
+    /// Literal sequences: `[0]` with RPC symbols kept, `[1]` with RPCs
+    /// pruned (§6).
+    lits: [Vec<ApiId>; 2],
+    /// Per API appearing in the fingerprint: one entry per occurrence, in
+    /// atom order (the order `truncate_at_each` visits).
+    occ: HashMap<ApiId, Vec<OccEntry>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OccEntry {
+    /// Atom index of the occurrence.
+    pos: usize,
+    /// Literal count strictly before the occurrence (`[kept, pruned]`).
+    before: [usize; 2],
+    /// Whether the occurrence itself is a literal (`[kept, pruned]`).
+    literal: [bool; 2],
+}
+
+impl FpPatterns {
+    fn build(catalog: &Catalog, fp: &Fingerprint) -> FpPatterns {
+        let mut apis = Vec::with_capacity(fp.atoms.len());
+        let mut lits = [Vec::new(), Vec::new()];
+        let mut occ: HashMap<ApiId, Vec<OccEntry>> = HashMap::new();
+        for (pos, a) in fp.atoms.iter().enumerate() {
+            apis.push(a.api);
+            let keep_all = !a.starred;
+            let keep_pruned = keep_all && !catalog.get(a.api).is_rpc();
+            occ.entry(a.api).or_default().push(OccEntry {
+                pos,
+                before: [lits[0].len(), lits[1].len()],
+                literal: [keep_all, keep_pruned],
+            });
+            if keep_all {
+                lits[0].push(a.api);
+            }
+            if keep_pruned {
+                lits[1].push(a.api);
+            }
+        }
+        FpPatterns { apis, lits, occ }
+    }
+}
+
+/// One candidate pattern for a fault, borrowed from the library's pattern
+/// cache — the fast-path replacement for cloning truncated
+/// [`Fingerprint`]s per fault.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidatePattern<'a> {
+    /// The candidate operation.
+    pub op: OpSpecId,
+    /// (Truncated) atom sequence — for strict and correlation matching.
+    pub apis: &'a [ApiId],
+    /// (Truncated) literal sequence with RPC symbols kept.
+    pub lits_all: &'a [ApiId],
+    /// (Truncated) literal sequence with RPC symbols pruned (§6).
+    pub lits_pruned: &'a [ApiId],
+}
+
+impl<'a> CandidatePattern<'a> {
+    /// The literal pattern under the detector's pruning flag.
+    pub fn literals(&self, prune_rpcs: bool) -> &'a [ApiId] {
+        if prune_rpcs {
+            self.lits_pruned
+        } else {
+            self.lits_all
+        }
+    }
+}
+
 /// The library of all learned fingerprints, indexed for candidate lookup.
 #[derive(Debug, Clone)]
 pub struct FingerprintLibrary {
@@ -201,6 +295,8 @@ pub struct FingerprintLibrary {
     fps: Vec<Fingerprint>,
     by_api: HashMap<ApiId, Vec<OpSpecId>>,
     fp_max: usize,
+    /// Pattern cache, parallel to `fps`.
+    cache: Vec<FpPatterns>,
 }
 
 impl FingerprintLibrary {
@@ -218,18 +314,31 @@ impl FingerprintLibrary {
     }
 
     fn index(catalog: Arc<Catalog>, fps: Vec<Fingerprint>) -> FingerprintLibrary {
-        let mut by_api: HashMap<ApiId, Vec<OpSpecId>> = HashMap::new();
-        let mut fp_max = 0;
-        for fp in &fps {
-            fp_max = fp_max.max(fp.len());
-            let mut seen = std::collections::HashSet::new();
-            for a in &fp.atoms {
-                if seen.insert(a.api) {
-                    by_api.entry(a.api).or_default().push(fp.op);
-                }
+        let mut lib = FingerprintLibrary {
+            catalog,
+            fps: Vec::with_capacity(fps.len()),
+            by_api: HashMap::new(),
+            fp_max: 0,
+            cache: Vec::with_capacity(fps.len()),
+        };
+        for fp in fps {
+            lib.index_one(fp);
+        }
+        lib
+    }
+
+    /// Register one fingerprint: candidate index, `FPmax`, pattern cache.
+    /// Shared by the batch constructors and [`Self::extend_characterize`].
+    fn index_one(&mut self, fp: Fingerprint) {
+        self.fp_max = self.fp_max.max(fp.len());
+        let mut seen = std::collections::HashSet::new();
+        for a in &fp.atoms {
+            if seen.insert(a.api) {
+                self.by_api.entry(a.api).or_default().push(fp.op);
             }
         }
-        FingerprintLibrary { catalog, fps, by_api, fp_max }
+        self.cache.push(FpPatterns::build(&self.catalog, &fp));
+        self.fps.push(fp);
     }
 
     /// Offline characterization (§7.1): execute every spec `runs` times in
@@ -244,38 +353,100 @@ impl FingerprintLibrary {
         seed: u64,
     ) -> (FingerprintLibrary, Vec<CharacterizationStats>) {
         assert!(runs >= 1);
-        let plan = FaultPlan::none();
         let mut all_traces = Vec::with_capacity(specs.len());
         let mut stats = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
             assert_eq!(spec.id.index(), i, "specs must be in dense id order");
-            let mut traces = Vec::with_capacity(runs);
-            let mut rest_events = 0usize;
-            let mut rpc_events = 0usize;
-            for r in 0..runs {
-                let cfg = RunConfig {
-                    seed: seed ^ ((i as u64) << 20) ^ r as u64,
-                    start_window: 0,
-                    ..RunConfig::default()
-                };
-                let exec = Runner::new(catalog.clone(), deployment, &plan, cfg).run(&[spec]);
-                traces.push(trace_of(&exec));
-                for m in &exec.messages {
-                    if m.wire.is_rpc() {
-                        rpc_events += 1;
-                    } else {
-                        rest_events += 1;
-                    }
-                }
-            }
-            stats.push(CharacterizationStats {
-                op: spec.id,
-                rest_events,
-                rpc_events,
+            let (traces, st) = Self::run_spec_traces(&catalog, deployment, spec, runs, |r| {
+                seed ^ ((i as u64) << 20) ^ r as u64
             });
+            stats.push(st);
             all_traces.push((spec.id, traces));
         }
         (Self::from_traces(catalog, all_traces), stats)
+    }
+
+    /// [`Self::characterize`] sharded across `threads` scoped workers.
+    /// Each spec's simulator seeds depend only on its index, and
+    /// fingerprint generation is a pure function of the traces, so the
+    /// result is identical to the sequential build regardless of how the
+    /// scheduler interleaves workers (asserted in tests).
+    pub fn characterize_parallel(
+        catalog: Arc<Catalog>,
+        specs: &[OperationSpec],
+        deployment: &Deployment,
+        runs: usize,
+        seed: u64,
+        threads: usize,
+    ) -> (FingerprintLibrary, Vec<CharacterizationStats>) {
+        assert!(runs >= 1);
+        let threads = threads.max(1).min(specs.len().max(1));
+        if threads <= 1 {
+            return Self::characterize(catalog, specs, deployment, runs, seed);
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            assert_eq!(spec.id.index(), i, "specs must be in dense id order");
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let done: std::sync::Mutex<Vec<(usize, Fingerprint, CharacterizationStats)>> =
+            std::sync::Mutex::new(Vec::with_capacity(specs.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        let spec = &specs[i];
+                        let (traces, st) =
+                            Self::run_spec_traces(&catalog, deployment, spec, runs, |r| {
+                                seed ^ ((i as u64) << 20) ^ r as u64
+                            });
+                        local.push((i, generate_fingerprint(&catalog, spec.id, &traces), st));
+                    }
+                    done.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut done = done.into_inner().unwrap();
+        done.sort_by_key(|&(i, ..)| i);
+        let mut fps = Vec::with_capacity(done.len());
+        let mut stats = Vec::with_capacity(done.len());
+        for (_, fp, st) in done {
+            fps.push(fp);
+            stats.push(st);
+        }
+        (Self::index(catalog, fps), stats)
+    }
+
+    /// Execute one spec `runs` times in isolation; the traces plus the
+    /// raw event counts. `run_seed(r)` is the simulator seed of run `r`.
+    fn run_spec_traces(
+        catalog: &Arc<Catalog>,
+        deployment: &Deployment,
+        spec: &OperationSpec,
+        runs: usize,
+        run_seed: impl Fn(usize) -> u64,
+    ) -> (Vec<Vec<ApiId>>, CharacterizationStats) {
+        let plan = FaultPlan::none();
+        let mut traces = Vec::with_capacity(runs);
+        let mut rest_events = 0usize;
+        let mut rpc_events = 0usize;
+        for r in 0..runs {
+            let cfg = RunConfig { seed: run_seed(r), start_window: 0, ..RunConfig::default() };
+            let exec = Runner::new(catalog.clone(), deployment, &plan, cfg).run(&[spec]);
+            traces.push(trace_of(&exec));
+            for m in &exec.messages {
+                if m.wire.is_rpc() {
+                    rpc_events += 1;
+                } else {
+                    rest_events += 1;
+                }
+            }
+        }
+        (traces, CharacterizationStats { op: spec.id, rest_events, rpc_events })
     }
 
     /// Incrementally learn fingerprints for newly introduced operations
@@ -291,7 +462,6 @@ impl FingerprintLibrary {
         seed: u64,
     ) -> Vec<CharacterizationStats> {
         assert!(runs >= 1);
-        let plan = FaultPlan::none();
         let mut stats = Vec::with_capacity(specs.len());
         for (j, spec) in specs.iter().enumerate() {
             assert_eq!(
@@ -299,36 +469,12 @@ impl FingerprintLibrary {
                 self.fps.len(),
                 "new specs must continue the dense id space"
             );
-            let mut traces = Vec::with_capacity(runs);
-            let mut rest_events = 0usize;
-            let mut rpc_events = 0usize;
-            for r in 0..runs {
-                let cfg = RunConfig {
-                    seed: seed ^ ((j as u64) << 24) ^ r as u64,
-                    start_window: 0,
-                    ..RunConfig::default()
-                };
-                let exec =
-                    Runner::new(self.catalog.clone(), deployment, &plan, cfg).run(&[spec]);
-                traces.push(trace_of(&exec));
-                for m in &exec.messages {
-                    if m.wire.is_rpc() {
-                        rpc_events += 1;
-                    } else {
-                        rest_events += 1;
-                    }
-                }
-            }
+            let (traces, st) = Self::run_spec_traces(&self.catalog, deployment, spec, runs, |r| {
+                seed ^ ((j as u64) << 24) ^ r as u64
+            });
             let fp = generate_fingerprint(&self.catalog, spec.id, &traces);
-            self.fp_max = self.fp_max.max(fp.len());
-            let mut seen = std::collections::HashSet::new();
-            for a in &fp.atoms {
-                if seen.insert(a.api) {
-                    self.by_api.entry(a.api).or_default().push(fp.op);
-                }
-            }
-            self.fps.push(fp);
-            stats.push(CharacterizationStats { op: spec.id, rest_events, rpc_events });
+            self.index_one(fp);
+            stats.push(st);
         }
         stats
     }
@@ -357,6 +503,72 @@ impl FingerprintLibrary {
     /// (`Get_Possible_Offending_Operations`).
     pub fn candidates(&self, api: ApiId) -> &[OpSpecId] {
         self.by_api.get(&api).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Candidate patterns for an offending API, borrowed from the pattern
+    /// cache: one entry per candidate operation and truncation point (the
+    /// occurrences of `offending` in its fingerprint, in atom order), or
+    /// one untruncated entry per candidate when `truncate` is false. Same
+    /// order and content as deriving `candidates()` × `truncate_at_each()`
+    /// × `literals()`/`api_seq()` fresh, without the per-fault allocation.
+    pub fn candidate_patterns(
+        &self,
+        offending: ApiId,
+        truncate: bool,
+    ) -> Vec<CandidatePattern<'_>> {
+        let candidates = self.candidates(offending);
+        let mut out = Vec::with_capacity(candidates.len());
+        for &op in candidates {
+            let pats = &self.cache[op.index()];
+            if truncate {
+                for e in pats.occ.get(&offending).map(Vec::as_slice).unwrap_or(&[]) {
+                    out.push(CandidatePattern {
+                        op,
+                        apis: &pats.apis[..=e.pos],
+                        lits_all: &pats.lits[0][..e.before[0] + e.literal[0] as usize],
+                        lits_pruned: &pats.lits[1][..e.before[1] + e.literal[1] as usize],
+                    });
+                }
+            } else {
+                out.push(CandidatePattern {
+                    op,
+                    apis: &pats.apis,
+                    lits_all: &pats.lits[0],
+                    lits_pruned: &pats.lits[1],
+                });
+            }
+        }
+        out
+    }
+
+    /// Cached full literal sequence of `op`
+    /// (= `get(op).literals(catalog, prune_rpcs)`).
+    pub fn literal_seq(&self, op: OpSpecId, prune_rpcs: bool) -> &[ApiId] {
+        &self.cache[op.index()].lits[prune_rpcs as usize]
+    }
+
+    /// Cached bounded literal windows centred on each occurrence of `api`
+    /// in `op`'s fingerprint — equal to
+    /// `get(op).centered_literals(catalog, false, api, k)` (the
+    /// performance-fault pattern; RPC symbols kept, §3.1.2). Each window
+    /// is a contiguous slice of the cached literal sequence.
+    pub fn centered_patterns(&self, op: OpSpecId, api: ApiId, k: usize) -> Vec<&[ApiId]> {
+        let pats = &self.cache[op.index()];
+        let Some(occ) = pats.occ.get(&api) else {
+            return Vec::new();
+        };
+        let half = (k / 2).max(1);
+        let lits = &pats.lits[0];
+        occ.iter()
+            .map(|e| {
+                let lo = e.before[0].saturating_sub(half);
+                let hi = e.before[0]
+                    .saturating_add(e.literal[0] as usize)
+                    .saturating_add(half)
+                    .min(lits.len());
+                &lits[lo..hi]
+            })
+            .collect()
     }
 
     /// Size of the largest fingerprint (the `FPmax` in α).
@@ -630,5 +842,135 @@ mod tests {
         let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.cinder_list_spec(OpSpecId(1))];
         let (lib, _) = FingerprintLibrary::characterize(cat, &specs, &dep, 2, 3);
         assert_eq!(lib.fp_max(), lib.iter().map(|f| f.len()).max().unwrap());
+    }
+
+    #[test]
+    fn candidate_patterns_equal_fresh_derivation() {
+        let (cat, wf, dep) = setup();
+        let specs = vec![
+            wf.vm_create_spec(OpSpecId(0)),
+            wf.image_upload_spec(OpSpecId(1)),
+            wf.cinder_list_spec(OpSpecId(2)),
+        ];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 7);
+        for api_idx in 0..cat.len() {
+            let api = ApiId(api_idx as u16);
+            for truncate in [true, false] {
+                let cached = lib.candidate_patterns(api, truncate);
+                // The seed derivation the cache replaces (the oracle).
+                let mut fresh: Vec<(OpSpecId, Vec<ApiId>, Vec<ApiId>, Vec<ApiId>)> = Vec::new();
+                for &op in lib.candidates(api) {
+                    let fp = lib.get(op);
+                    let truncs =
+                        if truncate { fp.truncate_at_each(api) } else { vec![fp.clone()] };
+                    for t in truncs {
+                        fresh.push((
+                            op,
+                            t.api_seq(),
+                            t.literals(&cat, false),
+                            t.literals(&cat, true),
+                        ));
+                    }
+                }
+                assert_eq!(cached.len(), fresh.len(), "api {api} truncate {truncate}");
+                for (c, f) in cached.iter().zip(&fresh) {
+                    assert_eq!(c.op, f.0);
+                    assert_eq!(c.apis, &f.1[..]);
+                    assert_eq!(c.lits_all, &f.2[..]);
+                    assert_eq!(c.lits_pruned, &f.3[..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centered_patterns_equal_fresh_derivation() {
+        let (cat, wf, dep) = setup();
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.image_upload_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 5);
+        for op_i in 0..lib.len() {
+            let op = OpSpecId(op_i as u16);
+            let fp = lib.get(op).clone();
+            let apis: std::collections::HashSet<ApiId> =
+                fp.atoms.iter().map(|a| a.api).collect();
+            for api in apis {
+                for k in [1usize, 2, 4, 9, usize::MAX] {
+                    let cached = lib.centered_patterns(op, api, k);
+                    let fresh = fp.centered_literals(&cat, false, api, k);
+                    assert_eq!(cached.len(), fresh.len());
+                    for (c, f) in cached.iter().zip(&fresh) {
+                        assert_eq!(*c, &f[..], "op {op} api {api} k {k}");
+                    }
+                }
+            }
+        }
+        // An API absent from the fingerprint yields no patterns.
+        assert!(lib.centered_patterns(OpSpecId(0), ApiId(9999), 4).is_empty());
+    }
+
+    #[test]
+    fn literal_seq_and_literals_iter_agree() {
+        let (cat, wf, dep) = setup();
+        let (lib, _) = FingerprintLibrary::characterize(
+            cat.clone(),
+            &[wf.vm_create_spec(OpSpecId(0))],
+            &dep,
+            2,
+            3,
+        );
+        let fp = lib.get(OpSpecId(0));
+        for prune in [false, true] {
+            assert_eq!(lib.literal_seq(OpSpecId(0), prune), &fp.literals(&cat, prune)[..]);
+            assert_eq!(
+                fp.literals_iter(&cat, prune).collect::<Vec<_>>(),
+                fp.literals(&cat, prune)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_characterize_is_byte_identical() {
+        let (cat, wf, dep) = setup();
+        let specs = vec![
+            wf.vm_create_spec(OpSpecId(0)),
+            wf.image_upload_spec(OpSpecId(1)),
+            wf.cinder_list_spec(OpSpecId(2)),
+        ];
+        let (seq, seq_stats) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 11);
+        for threads in [2usize, 4, 8] {
+            let (par, par_stats) = FingerprintLibrary::characterize_parallel(
+                cat.clone(),
+                &specs,
+                &dep,
+                2,
+                11,
+                threads,
+            );
+            assert_eq!(par.to_json(), seq.to_json(), "threads={threads}");
+            assert_eq!(par_stats, seq_stats);
+            assert_eq!(par.fp_max(), seq.fp_max());
+        }
+    }
+
+    #[test]
+    fn pattern_cache_tracks_extend_characterize() {
+        let (cat, wf, dep) = setup();
+        let (mut lib, _) = FingerprintLibrary::characterize(
+            cat.clone(),
+            &[wf.vm_create_spec(OpSpecId(0))],
+            &dep,
+            2,
+            3,
+        );
+        lib.extend_characterize(&[wf.image_upload_spec(OpSpecId(1))], &dep, 2, 9);
+        let fp = lib.get(OpSpecId(1)).clone();
+        let api = fp.atoms.iter().find(|a| !a.starred).map(|a| a.api).expect("literal atom");
+        let pats = lib.candidate_patterns(api, true);
+        let hits: Vec<_> = pats.iter().filter(|p| p.op == OpSpecId(1)).collect();
+        assert_eq!(hits.len(), fp.truncate_at_each(api).len());
+        for p in &hits {
+            assert!(fp.literals(&cat, true).starts_with(p.lits_pruned));
+            assert!(fp.literals(&cat, false).starts_with(p.lits_all));
+        }
     }
 }

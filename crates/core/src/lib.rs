@@ -25,6 +25,7 @@ pub mod config;
 pub mod detect;
 pub mod event;
 pub mod explain;
+pub mod fasthash;
 pub mod fingerprint;
 pub mod lcs;
 pub mod matcher;
@@ -35,17 +36,22 @@ pub mod report;
 pub mod service;
 pub mod window;
 
-pub use analyzer::{analyze_stream, Analyzer, AnalyzerStats, RcaContext};
+pub use analyzer::{
+    analyze_stream, Analyzer, AnalyzerStats, RcaContext, SnapshotAnalyzer, SnapshotJob,
+};
 pub use anomaly::{scan_rest_error, scan_rpc_error, LatencyObs, LatencyPairer};
 pub use config::{theta, GretelConfig};
-pub use detect::{DetectionOutcome, Detector};
+pub use detect::{DetectionOutcome, Detector, SnapshotIndex};
 pub use event::{Event, FaultMark};
 pub use explain::{LiteralMatch, MatchExplanation};
+pub use fasthash::{FastMap, FastSet};
 pub use fingerprint::{
-    generate_fingerprint, trace_of, Atom, CharacterizationStats, Fingerprint, FingerprintLibrary,
+    generate_fingerprint, trace_of, Atom, CandidatePattern, CharacterizationStats, Fingerprint,
+    FingerprintLibrary,
 };
+pub use matcher::PositionIndex;
 pub use perf::{PerfFault, PerfMonitor};
 pub use rca::{CauseKind, RcaEngine, RootCause};
 pub use report::{Diagnosis, FaultKind};
-pub use service::{run_service, ServiceStats};
+pub use service::{run_service, run_service_sharded, ServiceStats};
 pub use window::{SlidingWindow, Snapshot};

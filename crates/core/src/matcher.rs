@@ -71,6 +71,97 @@ pub fn suffix_match_score(
     (score, pattern.len())
 }
 
+/// Per-API occurrence index over a frozen buffer.
+///
+/// A frozen snapshot is matched against *many* candidate patterns (one per
+/// truncation point per candidate operation) and, in the presence-policy
+/// path, over many context-buffer growth steps. Scanning the buffer once
+/// per (pattern, step) pair is O(patterns · β · steps); indexing each API's
+/// sorted positions once turns every subsequence query into a chain of
+/// binary searches — O(|pattern| · log β) per query, buffer bytes touched
+/// once.
+#[derive(Debug, Clone, Default)]
+pub struct PositionIndex {
+    positions: crate::fasthash::FastMap<ApiId, Vec<usize>>,
+    len: usize,
+}
+
+impl PositionIndex {
+    /// Index `buffer`; position `i` is `buffer[i]`.
+    pub fn new(buffer: &[ApiId]) -> PositionIndex {
+        let mut idx = PositionIndex::default();
+        idx.extend(buffer);
+        idx
+    }
+
+    /// Append more symbols (δ context growth): positions continue from the
+    /// current length, so `idx.extend(tail)` over a split buffer equals
+    /// `PositionIndex::new(whole)`.
+    pub fn extend(&mut self, more: &[ApiId]) {
+        for &api in more {
+            self.positions.entry(api).or_default().push(self.len);
+            self.len += 1;
+        }
+    }
+
+    /// Number of indexed symbols.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is `pattern` a subsequence of the indexed buffer restricted to
+    /// positions in `lo..hi`? Equivalent to
+    /// `is_subsequence(pattern, &buffer[lo..hi])`, via greedy successor
+    /// queries instead of a scan.
+    pub fn contains_subsequence(&self, pattern: &[ApiId], lo: usize, hi: usize) -> bool {
+        let hi = hi.min(self.len);
+        let mut cursor = lo;
+        for &api in pattern {
+            let Some(occ) = self.positions.get(&api) else {
+                return false;
+            };
+            let i = occ.partition_point(|&p| p < cursor);
+            match occ.get(i) {
+                Some(&p) if p < hi => cursor = p + 1,
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Minimal anchored half-width: the smallest `h` such that `pattern`
+    /// is a subsequence of positions `(center − h)..bound`, computed by
+    /// greedy backward matching (the last literal as late as possible
+    /// before `bound`, the one before it earlier still, …). `None` when
+    /// the pattern never completes before `bound`. An empty pattern is
+    /// trivially present: `Some(0)`.
+    pub fn min_anchored_half(
+        &self,
+        pattern: &[ApiId],
+        center: usize,
+        bound: usize,
+    ) -> Option<usize> {
+        if pattern.is_empty() {
+            return Some(0);
+        }
+        let mut bound = bound.min(self.len);
+        for &lit in pattern.iter().rev() {
+            let occ = self.positions.get(&lit)?;
+            let i = occ.partition_point(|&p| p < bound);
+            if i == 0 {
+                return None;
+            }
+            bound = occ[i - 1];
+        }
+        Some(center - bound)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +277,162 @@ mod tests {
         let empty = Fingerprint { op: OpSpecId(1), atoms: vec![] };
         assert!(matches_relaxed(&empty, &f.catalog, true, None, &[]));
         assert!(matches_strict(&empty, &[f.post_servers]));
+        let (score, plen) = suffix_match_score(&empty, &f.catalog, true, None, &[]);
+        assert_eq!((score, plen), (0, 0));
+    }
+
+    #[test]
+    fn max_literals_zero_reduces_every_pattern_to_empty() {
+        // `max_literals: Some(0)` truncates the literal pattern to its last
+        // zero symbols — the empty pattern, which matches any buffer. A
+        // degenerate but well-defined configuration (it turns relaxed
+        // matching into "is a candidate").
+        let f = fx();
+        let fp = fp(&f);
+        assert!(matches_relaxed(&fp, &f.catalog, true, Some(0), &[]));
+        assert!(matches_relaxed(&fp, &f.catalog, false, Some(0), &[f.get_nets]));
+        let (score, plen) = suffix_match_score(&fp, &f.catalog, true, Some(0), &[f.post_ports]);
+        assert_eq!((score, plen), (0, 0));
+    }
+
+    fn pool(f: &Fixture) -> [ApiId; 5] {
+        [f.get_nets, f.get_sg, f.post_servers, f.post_ports, f.rpc_boot]
+    }
+
+    #[test]
+    fn position_index_agrees_with_linear_subsequence_scan() {
+        use rand::prelude::*;
+        let f = fx();
+        let pool = pool(&f);
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..50 {
+            let buffer: Vec<ApiId> =
+                (0..rng.gen_range(0usize..40)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let idx = PositionIndex::new(&buffer);
+            assert_eq!(idx.len(), buffer.len());
+            for _ in 0..20 {
+                let pattern: Vec<ApiId> =
+                    (0..rng.gen_range(0usize..6)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+                let lo = rng.gen_range(0..=buffer.len());
+                let hi = rng.gen_range(lo..=buffer.len());
+                assert_eq!(
+                    idx.contains_subsequence(&pattern, lo, hi),
+                    is_subsequence(&pattern, &buffer[lo..hi]),
+                    "pattern {pattern:?} window {lo}..{hi} of {buffer:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn position_index_extend_equals_bulk_build() {
+        use rand::prelude::*;
+        let f = fx();
+        let pool = pool(&f);
+        let mut rng = StdRng::seed_from_u64(7);
+        let buffer: Vec<ApiId> = (0..64).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        let bulk = PositionIndex::new(&buffer);
+        // Build the same index in three increments (δ context growth).
+        let mut grown = PositionIndex::new(&buffer[..20]);
+        grown.extend(&buffer[20..50]);
+        grown.extend(&buffer[50..]);
+        assert_eq!(grown.len(), bulk.len());
+        for _ in 0..200 {
+            let pattern: Vec<ApiId> =
+                (0..rng.gen_range(0usize..5)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let lo = rng.gen_range(0..=buffer.len());
+            let hi = rng.gen_range(lo..=buffer.len());
+            assert_eq!(
+                grown.contains_subsequence(&pattern, lo, hi),
+                bulk.contains_subsequence(&pattern, lo, hi)
+            );
+        }
+    }
+
+    #[test]
+    fn min_anchored_half_is_the_smallest_complete_window() {
+        use rand::prelude::*;
+        let f = fx();
+        let pool = pool(&f);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..60 {
+            let buffer: Vec<ApiId> =
+                (0..rng.gen_range(1usize..48)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let idx = PositionIndex::new(&buffer);
+            let center = rng.gen_range(0..buffer.len());
+            let bound = center + 1; // anchored at the fault
+            let pattern: Vec<ApiId> =
+                (0..rng.gen_range(1usize..5)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            // Reference: the smallest h with the pattern embedded in
+            // buffer[center-h..bound].
+            let naive = (0..=center)
+                .find(|&h| is_subsequence(&pattern, &buffer[center - h..bound]));
+            assert_eq!(
+                idx.min_anchored_half(&pattern, center, bound),
+                naive,
+                "pattern {pattern:?} center {center} of {buffer:?}"
+            );
+        }
+        let idx = PositionIndex::new(&[f.post_servers]);
+        assert_eq!(idx.min_anchored_half(&[], 0, 1), Some(0));
+        assert_eq!(idx.min_anchored_half(&[f.post_ports], 0, 1), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::fingerprint::{Atom, Fingerprint};
+    use gretel_model::{Catalog, HttpMethod, OpSpecId, Service};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // The greedy backward score equals the length of the longest
+        // pattern *suffix* that embeds in the buffer (greedy backward
+        // matching is optimal for suffix embedding).
+        #[test]
+        fn suffix_score_equals_longest_embedding_suffix(
+            atom_picks in proptest::collection::vec(0usize..5, 0..10),
+            stars in proptest::collection::vec(any::<bool>(), 10),
+            buf_picks in proptest::collection::vec(0usize..5, 0..24),
+            prune in any::<bool>(),
+            bound_raw in 0usize..10,
+        ) {
+            let catalog = Catalog::openstack();
+            let pool = [
+                catalog.rest_expect(Service::Neutron, HttpMethod::Get, "/v2.0/networks.json"),
+                catalog.rest_expect(Service::Neutron, HttpMethod::Get, "/v2.0/security-groups.json"),
+                catalog.rest_expect(Service::Nova, HttpMethod::Post, "/v2.1/servers"),
+                catalog.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json"),
+                catalog.rpc_expect(Service::NovaCompute, "build_and_run_instance"),
+            ];
+            let fp = Fingerprint {
+                op: OpSpecId(0),
+                atoms: atom_picks
+                    .iter()
+                    .zip(&stars)
+                    .map(|(&i, &starred)| Atom { api: pool[i], starred })
+                    .collect(),
+            };
+            let buffer: Vec<_> = buf_picks.iter().map(|&i| pool[i]).collect();
+            let max_literals = (bound_raw < 9).then_some(bound_raw);
+
+            let (score, plen) =
+                suffix_match_score(&fp, &catalog, prune, max_literals, &buffer);
+
+            let literals = fp.literals(&catalog, prune);
+            let pattern: &[_] = match max_literals {
+                Some(k) if literals.len() > k => &literals[literals.len() - k..],
+                _ => &literals[..],
+            };
+            prop_assert_eq!(plen, pattern.len());
+            let naive = (0..=pattern.len())
+                .rev()
+                .find(|&s| is_subsequence(&pattern[pattern.len() - s..], &buffer))
+                .unwrap_or(0);
+            prop_assert_eq!(score, naive);
+        }
     }
 }

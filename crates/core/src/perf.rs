@@ -9,9 +9,9 @@
 //! fingerprints, then root cause analysis.
 
 use crate::anomaly::LatencyObs;
+use crate::fasthash::FastMap;
 use gretel_model::ApiId;
 use gretel_telemetry::{Anomaly, LevelShiftConfig, LevelShiftDetector, OutlierDetector};
-use std::collections::HashMap;
 
 /// Factory producing one detector per monitored API. Defaults to the
 /// adaptive level-shift detector; any [`OutlierDetector`] can be plugged
@@ -30,8 +30,8 @@ pub struct PerfFault {
 /// Per-API latency monitoring.
 pub struct PerfMonitor {
     factory: DetectorFactory,
-    detectors: HashMap<ApiId, Box<dyn OutlierDetector + Send>>,
-    history: HashMap<ApiId, Vec<(u64, f64)>>,
+    detectors: FastMap<ApiId, Box<dyn OutlierDetector + Send>>,
+    history: FastMap<ApiId, Vec<(u64, f64)>>,
     keep_history: bool,
 }
 
@@ -48,7 +48,7 @@ impl PerfMonitor {
 
     /// New monitor with a custom detector factory.
     pub fn with_factory(factory: DetectorFactory, keep_history: bool) -> PerfMonitor {
-        PerfMonitor { factory, detectors: HashMap::new(), history: HashMap::new(), keep_history }
+        PerfMonitor { factory, detectors: FastMap::default(), history: FastMap::default(), keep_history }
     }
 
     /// Feed one latency observation.

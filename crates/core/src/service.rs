@@ -7,12 +7,17 @@
 //! drives the [`Analyzer`]. This is the deployment shape the §7.4.2
 //! overhead experiment measures.
 
-use crate::analyzer::{Analyzer, AnalyzerStats};
+use crate::analyzer::{Analyzer, AnalyzerStats, SnapshotJob};
 use crate::report::Diagnosis;
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver};
 use gretel_model::{Message, NodeId};
 use gretel_netcap::{decode_one, CaptureAgent};
+
+/// Default analysis-pool width for [`run_service`].
+fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+}
 
 /// Transport-level statistics from one service run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,11 +40,53 @@ pub fn run_service(
     traffic: &[Message],
     channel_capacity: usize,
 ) -> (Vec<Diagnosis>, ServiceStats, AnalyzerStats) {
+    run_service_sharded(analyzer, nodes, traffic, channel_capacity, default_workers())
+}
+
+/// [`run_service`] with an explicit analysis-pool width.
+///
+/// The per-message fast path (byte scan, latency pairing, window push)
+/// stays on the receiver thread — it is stateful and cheap. Completed
+/// snapshots are the expensive, stateless part (Algorithm 2 over every
+/// claimed error, plus RCA); they ship as [`SnapshotJob`]s to `workers`
+/// analysis threads. Each job carries a sequence number and the collected
+/// diagnoses are re-ordered by it, so the output is byte-identical to
+/// inline analysis regardless of worker scheduling.
+pub fn run_service_sharded(
+    analyzer: &mut Analyzer<'_>,
+    nodes: &[NodeId],
+    traffic: &[Message],
+    channel_capacity: usize,
+    workers: usize,
+) -> (Vec<Diagnosis>, ServiceStats, AnalyzerStats) {
     assert!(channel_capacity > 0);
+    let workers = workers.max(1);
     let mut service_stats = ServiceStats::default();
     let mut diagnoses = Vec::new();
 
+    let snapshot_analyzer = analyzer.snapshot_analyzer();
+    let (job_tx, job_rx) = bounded::<(u64, SnapshotJob)>(channel_capacity);
+    // Results are unbounded: the collector drains only after the merge
+    // loop finishes, so a bounded link could wedge the pool (workers
+    // blocked on full results ⇒ jobs pile up ⇒ receiver blocked).
+    let (res_tx, res_rx) = crossbeam_channel::unbounded::<(u64, Vec<Diagnosis>)>();
+
     std::thread::scope(|scope| {
+        // The analysis pool: stateless workers over shared MPMC channels.
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((seq, job)) = job_rx.recv() {
+                    if res_tx.send((seq, snapshot_analyzer.analyze(&job))).is_err() {
+                        return; // collector gone
+                    }
+                }
+            });
+        }
+        drop(job_rx);
+        drop(res_tx);
+
         // One bounded link per agent.
         let mut rxs: Vec<Receiver<Bytes>> = Vec::with_capacity(nodes.len());
         for &node in nodes {
@@ -61,6 +108,7 @@ pub fn run_service(
 
         // Event receiver: k-way merge on (ts, id). Each stream is already
         // ordered, so we only compare stream heads.
+        let mut seq = 0u64;
         let mut heads: Vec<Option<Message>> = Vec::with_capacity(rxs.len());
         for rx in &rxs {
             heads.push(recv_decode(rx, &mut service_stats));
@@ -84,11 +132,29 @@ pub fn run_service(
             let Some(i) = best else { break };
             let msg = heads[i].take().expect("chosen head is Some");
             heads[i] = recv_decode(&rxs[i], &mut service_stats);
-            diagnoses.extend(analyzer.process(&msg));
+            for job in analyzer.ingest(&msg) {
+                job_tx.send((seq, job)).expect("analysis pool alive");
+                seq += 1;
+            }
+        }
+        for job in analyzer.finish_jobs() {
+            job_tx.send((seq, job)).expect("analysis pool alive");
+            seq += 1;
+        }
+        drop(job_tx); // pool drains and exits
+
+        // Deterministic merge: job order == the order inline analysis
+        // would have produced, so sorting by sequence number restores it.
+        let mut results: Vec<(u64, Vec<Diagnosis>)> = Vec::with_capacity(seq as usize);
+        while let Ok(r) = res_rx.recv() {
+            results.push(r);
+        }
+        results.sort_by_key(|&(s, _)| s);
+        for (_, ds) in results {
+            diagnoses.extend(ds);
         }
     });
 
-    diagnoses.extend(analyzer.finish());
     let analyzer_stats = analyzer.stats();
     (diagnoses, service_stats, analyzer_stats)
 }
@@ -148,6 +214,53 @@ mod tests {
         // is processed exactly once.
         assert!(astats.messages as usize <= exec.messages.len());
         assert_eq!(astats.messages, svc.frames);
+    }
+
+    #[test]
+    fn sharded_pool_widths_all_match_inline_analysis() {
+        // Multiple faults → multiple snapshot jobs in flight; every pool
+        // width must reproduce the inline diagnosis sequence exactly.
+        let cat = Catalog::openstack();
+        let dep = Deployment::standard();
+        let wf = Workflows::new(cat.clone());
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.image_upload_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 21);
+
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let put_file = cat.rest_expect(Service::Glance, HttpMethod::Put, "/v2/images/{id}/file");
+        let plan = FaultPlan::none()
+            .with_api_fault(ApiFault {
+                api: ports_post,
+                scope: FaultScope::AllInstances,
+                occurrence: 0,
+                error: InjectedError::RestStatus { status: 500, reason: None },
+                abort_op: true,
+            })
+            .with_api_fault(ApiFault {
+                api: put_file,
+                scope: FaultScope::AllInstances,
+                occurrence: 0,
+                error: InjectedError::RestStatus { status: 503, reason: None },
+                abort_op: true,
+            });
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec =
+            Runner::new(cat.clone(), &dep, &plan, RunConfig { seed: 6, ..Default::default() })
+                .run(&refs);
+
+        let gcfg = GretelConfig { alpha: 48, ..GretelConfig::default() };
+        let mut inline = Analyzer::new(&lib, gcfg);
+        let expected = crate::analyzer::analyze_stream(&mut inline, exec.messages.iter());
+        assert!(expected.len() >= 2, "want several diagnoses, got {}", expected.len());
+
+        let nodes: Vec<NodeId> = dep.nodes().iter().map(|n| n.id).collect();
+        for workers in [1, 2, 4, 8] {
+            let mut threaded = Analyzer::new(&lib, gcfg);
+            let (got, _, astats) =
+                run_service_sharded(&mut threaded, &nodes, &exec.messages, 32, workers);
+            assert_eq!(got, expected, "pool width {workers}");
+            assert_eq!(astats, inline.stats(), "pool width {workers}");
+        }
     }
 
     #[test]

@@ -111,18 +111,23 @@ impl SlidingWindow {
         if self.buf.len() > self.alpha {
             self.buf.pop_front();
         }
-        let mut done = Vec::new();
-        let mut still_armed = Vec::new();
-        for mut a in self.armed.drain(..) {
+        if self.armed.is_empty() {
+            return Vec::new();
+        }
+        // In-place countdown: a snapshot stays armed for α/2 pushes, so
+        // this runs once per message while anything is pending — it must
+        // not allocate unless a snapshot actually completes.
+        let mut done: Vec<Event> = Vec::new();
+        self.armed.retain_mut(|a| {
             a.remaining -= 1;
             if a.remaining == 0 {
-                done.push(a);
+                done.push(a.fault);
+                false
             } else {
-                still_armed.push(a);
+                true
             }
-        }
-        self.armed = still_armed;
-        done.into_iter().map(|a| self.freeze(a.fault)).collect()
+        });
+        done.into_iter().map(|f| self.freeze(f)).collect()
     }
 
     /// Flush all pending snapshots with whatever future context arrived

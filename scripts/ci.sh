@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly as ROADMAP.md specifies, pinned offline:
+# every dependency is vendored under vendor/, so a network-less container
+# must build and test clean. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

@@ -1,0 +1,316 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the bench-harness API surface this workspace uses —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BenchmarkId`, `sample_size` — over plain `Instant` timing. Each benchmark
+//! runs `sample_size` samples (auto-sized iteration counts, ~5 ms per
+//! sample), and the median ns/iter plus derived throughput is printed.
+//! A positional CLI argument acts as a substring filter, like real criterion
+//! (`cargo bench --bench throughput -- gretel`).
+
+use std::fmt::Display;
+use std::hint::black_box as bb;
+use std::time::Instant;
+
+const TARGET_SAMPLE_NS: u128 = 5_000_000;
+
+/// Measurement throughput annotation: scales the report into elem/s or MiB/s.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Composite benchmark id (`function/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// How `iter_batched` amortizes setup; only a hint, all variants time the
+/// routine per-invocation here.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First positional argument = substring filter (cargo also passes
+        // flags like `--bench`, which we ignore).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { sample_size: 100, filter }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        let name = id.to_string();
+        if self.matches(&name) {
+            run_bench(&name, None, sample_size, f);
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| name.contains(f))
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&name) {
+            run_bench(&name, self.throughput, self.sample_size, f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&name) {
+            run_bench(&name, self.throughput, self.sample_size, |b| f(b, input));
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher { sample_size, samples_ns_per_iter: Vec::new() };
+    f(&mut bencher);
+    let mut samples = bencher.samples_ns_per_iter;
+    if samples.is_empty() {
+        // The closure never called iter(); nothing to report.
+        println!("{name:<50} (no measurement)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    let mut line = format!(
+        "{name:<50} time: [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let per_sec = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {} elem/s", fmt_count(per_sec)));
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let per_sec = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {:.2} MiB/s", per_sec / (1024.0 * 1024.0)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_count(n: f64) -> String {
+    if n >= 1e6 {
+        format!("{:.3} M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.2} K", n / 1e3)
+    } else {
+        format!("{n:.1}")
+    }
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    /// ns per iteration, one entry per sample.
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-sizing the per-sample iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration run.
+        let start = Instant::now();
+        bb(routine());
+        let once_ns = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NS / once_ns).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                bb(routine());
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            self.samples_ns_per_iter.push(total / iters as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // Warm-up + calibration run.
+        let input = setup();
+        let start = Instant::now();
+        bb(routine(input));
+        let once_ns = start.elapsed().as_nanos().max(1);
+        let iters = (TARGET_SAMPLE_NS / once_ns).clamp(1, 10_000) as usize;
+        for _ in 0..self.sample_size {
+            let mut total = 0u128;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                bb(routine(input));
+                total += start.elapsed().as_nanos();
+            }
+            self.samples_ns_per_iter.push(total as f64 / iters as f64);
+        }
+    }
+}
+
+/// `criterion_group!` — both the `name/config/targets` and the positional
+/// form expand to a function running every target.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __criterion: $crate::Criterion = $config;
+            $($target(&mut __criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion { sample_size: 5, filter: None };
+        let mut ran = 0usize;
+        c.bench_function("unit/iter", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 5);
+    }
+
+    #[test]
+    fn group_and_batched() {
+        let mut c = Criterion { sample_size: 3, filter: None };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut c = Criterion { sample_size: 2, filter: Some("nomatch".into()) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+    }
+}

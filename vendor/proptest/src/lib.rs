@@ -1,0 +1,122 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Runs each property as N deterministically-seeded random cases (no
+//! shrinking — on failure the case index and seed are printed so the run can
+//! be reproduced). Supports the API subset this workspace uses:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strat, ...) {...} }`
+//! * `prop_compose!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! * strategies: integer/float ranges, `&str` character-class regexes
+//!   (`[A-Za-z]{1,20}` shapes), `Just`, `any::<T>()`,
+//!   `proptest::collection::vec`, `proptest::option::of`, `.prop_map`.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
+}
+
+/// Define property tests. Each `#[test] fn name(arg in strategy, ...)` body
+/// runs `cases` times with fresh strategy draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::test_runner::run_cases(&__cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::gen(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Compose a strategy out of other strategies:
+/// `prop_compose! { fn name(params)(bindings in strategies) -> Out { expr } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+            ($($arg:pat_param in $strat:expr),+ $(,)?)
+            -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::from_fn(move |__rng| {
+                $(let $arg = $crate::strategy::Strategy::gen(&($strat), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+/// Choose uniformly between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::weighted_union(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::weighted_union(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}

@@ -1,0 +1,323 @@
+//! Strategy trait and the built-in strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A reusable recipe for generating random values.
+pub trait Strategy {
+    type Value;
+
+    /// Draw one value.
+    fn gen(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase for heterogeneous collections (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.gen(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy from a generation closure (used by `prop_compose!`).
+pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+    FnStrategy(f)
+}
+
+pub struct FnStrategy<F>(F);
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen(rng))
+    }
+}
+
+/// Weighted choice between type-erased strategies (`prop_oneof!`).
+pub fn weighted_union<T>(choices: Vec<(u32, BoxedStrategy<T>)>) -> WeightedUnion<T> {
+    assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+    WeightedUnion { choices }
+}
+
+pub struct WeightedUnion<T> {
+    choices: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.choices.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.choices {
+            if pick < *w {
+                return s.gen(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum mismatch")
+    }
+}
+
+// ---- numeric ranges ----
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---- any::<T>() ----
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- string regexes ----
+
+/// `&str` literals act as regex strategies. Supports the subset the
+/// workspace uses: concatenations of literal characters and character
+/// classes (`[a-z0-9/._-]`), each with an optional `{n}` / `{m,n}` / `?` /
+/// `+` / `*` quantifier.
+impl Strategy for &str {
+    type Value = String;
+    fn gen(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, min, max) in &elements {
+            let n = if min == max { *min } else { rng.gen_range(*min..=*max) };
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+type Element = (Vec<char>, usize, usize);
+
+fn parse_pattern(pattern: &str) -> Vec<Element> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let class = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        elements.push((set, min, max));
+    }
+    elements
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` range (a trailing `-` is a literal).
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "bad range in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(char::from_u32(c).unwrap());
+            }
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class in pattern {pattern:?}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_subset_generates_in_class() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z0-9/._-]{0,40}".gen(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/._-".contains(c)));
+            let t = "[A-Za-z]{1,20}".gen(&mut rng);
+            assert!((1..=20).contains(&t.len()));
+            assert!(t.chars().all(|c| c.is_ascii_alphabetic()));
+        }
+    }
+
+    #[test]
+    fn literal_and_quantifiers() {
+        let mut rng = TestRng::seed_from_u64(2);
+        assert_eq!("abc".gen(&mut rng), "abc");
+        let s = "x[01]{3}y?".gen(&mut rng);
+        assert!(s.starts_with('x'));
+        assert!(s.len() == 4 || s.len() == 5);
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = crate::prop_oneof![Just(1u8), Just(2u8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            seen.insert(s.gen(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+        let mapped = (0usize..5).prop_map(|i| i * 10);
+        for _ in 0..20 {
+            assert_eq!(mapped.gen(&mut rng) % 10, 0);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Offline `Serialize`/`Deserialize` derives, written directly against
+//! `proc_macro` (the registry is unreachable, so `syn`/`quote` are not
+//! available). Supports exactly the shapes this workspace uses:
+//!
+//! * named-field structs, tuple structs (newtypes are transparent), unit
+//!   structs;
+//! * enums with unit, tuple, and named-field variants, externally tagged
+//!   (`"Variant"` / `{"Variant": ...}`) like real serde;
+//! * no generics, no `#[serde(...)]` attributes.
+//!
+//! Parsing walks the raw token stream; code generation builds source text and
+//! re-parses it, using `::serde::` paths plus prelude items only.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- input model ----
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+// ---- parsing ----
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including expanded doc comments) and
+    // the visibility qualifier.
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde derive: malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                panic!("serde derive: unsupported item starting with `{s}`");
+            }
+            other => panic!("serde derive: unexpected token {other:?}"),
+        }
+    };
+
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported by the vendored derive");
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body {other:?}"),
+        }
+    };
+
+    Input { name, shape }
+}
+
+/// Parse `name: Type, ...` out of a brace group, skipping per-field
+/// attributes and visibility. Type tokens are consumed up to the next
+/// top-level comma (tracking `<`/`>` depth for generic types).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("serde derive: expected field name, got {other:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        it.next();
+                        break;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle -= 1;
+                    }
+                    it.next();
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && angle == 0 {
+                    count += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                if c == '<' {
+                    angle += 1;
+                } else if c == '>' {
+                    angle -= 1;
+                }
+                saw_tokens = true;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes (e.g. `#[default]`, doc comments).
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, got {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle = 0i32;
+        loop {
+            match it.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        break;
+                    }
+                    if c == '<' {
+                        angle += 1;
+                    } else if c == '>' {
+                        angle -= 1;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- code generation ----
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n"
+    ));
+    match &input.shape {
+        Shape::Unit => out.push_str("        ::serde::Value::Null\n"),
+        Shape::Named(fields) => {
+            out.push_str("        ::serde::Value::Object(vec![\n");
+            for f in fields {
+                out.push_str(&format!(
+                    "            (String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),\n"
+                ));
+            }
+            out.push_str("        ])\n");
+        }
+        Shape::Tuple(1) => {
+            out.push_str("        ::serde::Serialize::to_value(&self.0)\n");
+        }
+        Shape::Tuple(n) => {
+            out.push_str("        ::serde::Value::Array(vec![\n");
+            for i in 0..*n {
+                out.push_str(&format!("            ::serde::Serialize::to_value(&self.{i}),\n"));
+            }
+            out.push_str("        ])\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => out.push_str(&format!(
+                        "            {name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantShape::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vn}(__f0) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn}({}) => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vn}\"), ::serde::Value::Object(vec![{}]))]),\n",
+                            fields.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse().expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    ));
+    match &input.shape {
+        Shape::Unit => out.push_str(&format!("        Ok({name})\n")),
+        Shape::Named(fields) => {
+            out.push_str(&format!(
+                "        if __v.as_object().is_none() {{\n            return Err(::serde::Error::msg(format!(\"expected object for {name}, got {{}}\", __v.kind())));\n        }}\n"
+            ));
+            out.push_str(&format!("        Ok({name} {{\n"));
+            for f in fields {
+                out.push_str(&format!(
+                    "            {f}: ::serde::Deserialize::from_value(__v.get(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|__e| ::serde::Error::context(\"{name}.{f}\", __e))?,\n"
+                ));
+            }
+            out.push_str("        })\n");
+        }
+        Shape::Tuple(1) => {
+            out.push_str(&format!(
+                "        Ok({name}(::serde::Deserialize::from_value(__v).map_err(|__e| ::serde::Error::context(\"{name}\", __e))?))\n"
+            ));
+        }
+        Shape::Tuple(n) => {
+            out.push_str(&format!(
+                "        let __items = __v.as_array().ok_or_else(|| ::serde::Error::msg(format!(\"expected array for {name}, got {{}}\", __v.kind())))?;\n"
+            ));
+            out.push_str(&format!(
+                "        if __items.len() != {n} {{\n            return Err(::serde::Error::msg(format!(\"expected {n} elements for {name}, got {{}}\", __items.len())));\n        }}\n"
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            out.push_str(&format!("        Ok({name}({}))\n", items.join(", ")));
+        }
+        Shape::Enum(variants) => {
+            out.push_str("        match __v {\n");
+            // Unit variants arrive as bare strings.
+            out.push_str("            ::serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants {
+                if matches!(v.shape, VariantShape::Unit) {
+                    let vn = &v.name;
+                    out.push_str(&format!(
+                        "                \"{vn}\" => Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "                __other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{__other}}\"))),\n            }},\n"
+            ));
+            // Data-carrying variants arrive as single-key objects.
+            out.push_str("            ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {\n");
+            out.push_str("                let (__tag, __inner) = &__pairs[0];\n");
+            out.push_str("                match __tag.as_str() {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {}
+                    VariantShape::Tuple(1) => out.push_str(&format!(
+                        "                    \"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner).map_err(|__e| ::serde::Error::context(\"{name}::{vn}\", __e))?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vn}\" => {{\n                        let __items = __inner.as_array().ok_or_else(|| ::serde::Error::msg(\"expected array for {name}::{vn}\"))?;\n                        if __items.len() != {n} {{\n                            return Err(::serde::Error::msg(\"wrong arity for {name}::{vn}\"));\n                        }}\n                        Ok({name}::{vn}({}))\n                    }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__inner.get(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|__e| ::serde::Error::context(\"{name}::{vn}.{f}\", __e))?"
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "                    __other => Err(::serde::Error::msg(format!(\"unknown {name} variant {{__other}}\"))),\n                }}\n            }}\n"
+            ));
+            out.push_str(&format!(
+                "            __other => Err(::serde::Error::msg(format!(\"expected {name}, got {{}}\", __other.kind()))),\n        }}\n"
+            ));
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse().expect("serde derive: generated invalid Deserialize impl")
+}

@@ -38,6 +38,7 @@ fn synth_events(wb: &Workbench, n: usize, offending: ApiId) -> (Vec<Event>, usiz
                 dst_node: NodeId(1),
                 corr: None,
                 fault: FaultMark::None,
+                gap_before: 0,
             }
         })
         .collect();

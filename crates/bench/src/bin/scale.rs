@@ -55,6 +55,7 @@ fn synth_events(wb: &Workbench, n: usize, offending: ApiId, seed: u64) -> (Vec<E
                 dst_node: NodeId(1),
                 corr: None,
                 fault: FaultMark::None,
+                gap_before: 0,
             }
         })
         .collect();

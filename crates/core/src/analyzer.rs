@@ -25,7 +25,7 @@ use crate::fasthash::FastSet;
 use crate::fingerprint::FingerprintLibrary;
 use crate::perf::{PerfFault, PerfMonitor};
 use crate::rca::RcaEngine;
-use crate::report::{Diagnosis, FaultKind};
+use crate::report::{CaptureConfidence, Diagnosis, FaultKind};
 use crate::window::{SlidingWindow, Snapshot};
 use gretel_model::{Message, MessageId, NodeId, OperationSpec, WireKind};
 use gretel_sim::Deployment;
@@ -57,6 +57,11 @@ pub struct AnalyzerStats {
     pub snapshots: u64,
     /// Performance faults confirmed.
     pub perf_faults: u64,
+    /// Capture-gap markers ingested (distinct places the receiver knew
+    /// frames went missing).
+    pub capture_gaps: u64,
+    /// Total frames the receiver inferred lost across those gaps.
+    pub lost_frames: u64,
 }
 
 /// The central analyzer service.
@@ -71,6 +76,7 @@ pub struct Analyzer<'a> {
     pending_perf: Vec<(MessageId, PerfFault)>,
     stats: AnalyzerStats,
     auto_alpha: Option<AutoAlpha>,
+    pending_gap: u32,
 }
 
 /// Dynamic window sizing: the paper derives α from the observed packet
@@ -118,6 +124,7 @@ impl<'a> Analyzer<'a> {
             pending_perf: Vec::new(),
             stats: AnalyzerStats::default(),
             auto_alpha: None,
+            pending_gap: 0,
         }
     }
 
@@ -156,6 +163,20 @@ impl<'a> Analyzer<'a> {
         self.perf.history(api)
     }
 
+    /// Record a capture gap: the receiver inferred `lost` frames missing
+    /// just before the *next* message it will ingest. The next event
+    /// entering the window carries the marker (`Event::gap_before`), which
+    /// makes every snapshot spanning it a degraded-confidence snapshot.
+    /// Consecutive gap reports accumulate onto the same marker.
+    pub fn note_capture_gap(&mut self, lost: u32) {
+        if lost == 0 {
+            return;
+        }
+        self.stats.capture_gaps += 1;
+        self.stats.lost_frames += lost as u64;
+        self.pending_gap = self.pending_gap.saturating_add(lost);
+    }
+
     /// The per-message fast path: scan, pair, window-push — everything
     /// *stateful* — and return the snapshot jobs this message completed,
     /// without analyzing them. [`Self::process`] analyzes inline; a
@@ -186,7 +207,11 @@ impl<'a> Analyzer<'a> {
             }
         };
 
-        let ev = Event::new(msg, def.is_rpc(), def.is_state_change(), def.noise.is_some(), fault);
+        let mut ev =
+            Event::new(msg, def.is_rpc(), def.is_state_change(), def.noise.is_some(), fault);
+        // Attach any gap reported since the previous ingest: this event is
+        // the first to arrive after the hole.
+        ev.gap_before = std::mem::take(&mut self.pending_gap);
 
         // 2. Latency pairing → perf detectors (noise APIs excluded: their
         // cadence is fixed and uninteresting).
@@ -344,6 +369,12 @@ impl<'a> SnapshotAnalyzer<'a> {
         // One shared O(α) pass; every detection below is sub-linear in the
         // snapshot after this.
         let sidx = SnapshotIndex::new(&snap.events);
+        // Capture quality is a property of the frozen window: any gap
+        // marker inside it degrades every diagnosis made from it.
+        let confidence = match (snap.gap_markers(), snap.lost_frames()) {
+            (0, _) => CaptureConfidence::Exact,
+            (gaps, lost) => CaptureConfidence::Degraded { gaps, lost },
+        };
         let mut out = Vec::new();
 
         for (msg_id, pf) in &job.perf {
@@ -356,7 +387,7 @@ impl<'a> SnapshotAnalyzer<'a> {
                 observed_ms: pf.anomaly.value / 1000.0,
                 baseline_ms: pf.anomaly.baseline / 1000.0,
             };
-            out.push(self.finalize(kind, pf.api, &snap.events, snap.events[idx], outcome));
+            out.push(self.finalize(kind, pf.api, &snap.events, snap.events[idx], outcome, confidence));
         }
 
         for &idx in &job.errors {
@@ -367,7 +398,7 @@ impl<'a> SnapshotAnalyzer<'a> {
                 FaultMark::RpcError => FaultKind::Operational { status: None, rpc: true },
                 FaultMark::None => unreachable!("jobs only claim error events"),
             };
-            out.push(self.finalize(kind, ev.api, &snap.events, *ev, outcome));
+            out.push(self.finalize(kind, ev.api, &snap.events, *ev, outcome, confidence));
         }
         out
     }
@@ -379,6 +410,7 @@ impl<'a> SnapshotAnalyzer<'a> {
         events: &[Event],
         fault: Event,
         outcome: crate::detect::DetectionOutcome,
+        confidence: CaptureConfidence,
     ) -> Diagnosis {
         let root_causes = match &self.rca {
             Some(ctx) => {
@@ -404,6 +436,7 @@ impl<'a> SnapshotAnalyzer<'a> {
             beta_used: outcome.beta_used,
             candidates: outcome.candidates,
             root_causes,
+            confidence,
         }
     }
 }

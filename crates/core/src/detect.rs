@@ -37,6 +37,11 @@ pub struct DetectionOutcome {
     /// Candidate count before snapshot matching — what matching "with API
     /// error" alone would report (the baseline bars of Fig 7b/7c).
     pub candidates: usize,
+    /// Pattern literals bridged by degraded-mode matching in the winning
+    /// match (maximum over the reported operations). 0 whenever the
+    /// capture around the fault was complete — exact matching never
+    /// consumes misses.
+    pub misses: usize,
 }
 
 /// Per-snapshot preprocessing shared by every detection over one frozen
@@ -58,6 +63,12 @@ pub struct SnapshotIndex {
     prefix: Vec<u32>,
     /// Non-noise event indices grouped by correlation id, in order.
     by_corr: crate::fasthash::FastMap<u64, Vec<u32>>,
+    /// Capture-gap spans, aligned with the projection: `gap_prefix[j]` is
+    /// the total frames inferred lost before projection position `j`
+    /// (including gaps attributed to filtered-out noise events);
+    /// `gap_prefix[apis.len()]` is the window total. Empty-projection
+    /// windows still get the single-element total.
+    gap_prefix: Vec<u32>,
 }
 
 impl SnapshotIndex {
@@ -66,18 +77,23 @@ impl SnapshotIndex {
         let mut apis = Vec::with_capacity(events.len());
         let mut prefix = Vec::with_capacity(events.len());
         let mut by_corr: crate::fasthash::FastMap<u64, Vec<u32>> = Default::default();
+        let mut gap_prefix = Vec::with_capacity(events.len() + 1);
+        let mut gap_cum: u32 = 0;
         for (i, e) in events.iter().enumerate() {
             prefix.push(apis.len() as u32);
+            gap_cum = gap_cum.saturating_add(e.gap_before);
             if e.noise_api {
                 continue;
             }
+            gap_prefix.push(gap_cum);
             apis.push(e.api);
             if let Some(c) = e.corr {
                 by_corr.entry(c).or_default().push(i as u32);
             }
         }
+        gap_prefix.push(gap_cum);
         let index = PositionIndex::new(&apis);
-        SnapshotIndex { apis, index, prefix, by_corr }
+        SnapshotIndex { apis, index, prefix, by_corr, gap_prefix }
     }
 
     /// The noise-filtered API projection.
@@ -88,6 +104,22 @@ impl SnapshotIndex {
     /// Non-noise event indices carrying correlation id `corr`, in order.
     pub fn corr_events(&self, corr: u64) -> &[u32] {
         self.by_corr.get(&corr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total frames inferred lost inside the snapshot window.
+    pub fn lost_total(&self) -> u32 {
+        *self.gap_prefix.last().unwrap_or(&0)
+    }
+
+    /// Frames inferred lost up to projection position `upto` — the gaps
+    /// preceding symbols `0..=upto`. Saturates at the window total for
+    /// out-of-range positions. This bounds how many pattern literals a
+    /// capture gap can possibly have swallowed inside the anchored
+    /// evidence region, which is what degraded matching uses as its miss
+    /// budget.
+    pub fn lost_before(&self, upto: usize) -> u32 {
+        let j = upto.min(self.gap_prefix.len() - 1);
+        self.gap_prefix[j]
     }
 }
 
@@ -197,6 +229,7 @@ impl<'a> Detector<'a> {
             beta_used: events.len(),
             candidates: candidates.len(),
             matched,
+            misses: 0,
         }
     }
 
@@ -328,6 +361,7 @@ impl<'a> Detector<'a> {
                     beta_used: filtered.len(),
                     candidates: patterns.len(),
                     matched: exact,
+                    misses: 0,
                 };
             }
             // Normal-form mismatch (e.g. the window clipped mid-pair):
@@ -338,7 +372,11 @@ impl<'a> Detector<'a> {
             if let Some(slack) = self.cfg.scored_slack {
                 let upper = (center + 1).min(filtered.len());
                 let index = PositionIndex::new(&filtered[..upper]);
-                return self.match_scored(&filtered, &index, center, patterns, slack, h0, delta);
+                // Budget with the whole window's losses: the corr
+                // restriction hides which positions the gaps fell between.
+                let budget = sidx.lost_total() as usize;
+                return self
+                    .match_scored(&filtered, &index, center, patterns, slack, h0, delta, budget);
             }
             let index = PositionIndex::new(&filtered);
             return self.match_presence(&filtered, &index, center, patterns, h0, delta);
@@ -352,12 +390,20 @@ impl<'a> Detector<'a> {
         let filtered = sidx.apis();
         let center = sidx.prefix.get(fault_index).map(|&p| p as usize).unwrap_or(0);
         if let Some(slack) = self.cfg.scored_slack {
-            return self.match_scored(filtered, &sidx.index, center, patterns, slack, h0, delta);
+            // Degraded-mode budget: only losses inside the anchored
+            // evidence region (positions up to the fault) can have
+            // swallowed pattern literals.
+            let budget = sidx.lost_before(center + 1) as usize;
+            return self
+                .match_scored(filtered, &sidx.index, center, patterns, slack, h0, delta, budget);
         }
         self.match_presence(filtered, &sidx.index, center, patterns, h0, delta)
     }
 
     /// Presence policy with the paper's θ-drop stop rule (iterative).
+    /// Deliberately not gap-widened: this is the ablation path pinned to
+    /// the paper's literal semantics, so degraded-mode matching applies to
+    /// the scored policy only.
     fn match_presence(
         &self,
         filtered: &[ApiId],
@@ -384,6 +430,7 @@ impl<'a> Detector<'a> {
                             beta_used: *prev_beta,
                             candidates: patterns.len(),
                             matched: prev_matched.clone(),
+                            misses: 0,
                         };
                     }
                 }
@@ -394,6 +441,7 @@ impl<'a> Detector<'a> {
                     beta_used,
                     candidates: patterns.len(),
                     matched,
+                    misses: 0,
                 };
             }
             prev = Some((matched, beta_used));
@@ -402,6 +450,17 @@ impl<'a> Detector<'a> {
     }
 
     /// Analytic earliest-complete scoring (see [`Self::match_with_context`]).
+    ///
+    /// `miss_budget` is the degraded-mode widening: when the snapshot
+    /// window spans capture gaps, a candidate whose literal sequence never
+    /// completes exactly may still match by skipping up to that many
+    /// literals (bounded per pattern at `len − 1` so at least one literal
+    /// is real evidence). Exact completions are always preferred — a
+    /// pattern is only retried with misses after exact matching fails, its
+    /// effective length is discounted by the misses, and with
+    /// `miss_budget == 0` (complete capture) this function is byte-for-
+    /// byte the exact scorer.
+    #[allow(clippy::too_many_arguments)]
     fn match_scored(
         &self,
         filtered: &[ApiId],
@@ -411,14 +470,15 @@ impl<'a> Detector<'a> {
         slack: usize,
         h0: usize,
         delta: usize,
+        miss_budget: usize,
     ) -> DetectionOutcome {
         // Anchored at the fault: only positions <= center count as
         // evidence (operational faults abort, so nothing after the fault
         // belongs to the faulty operation).
         let upper = (center + 1).min(filtered.len());
 
-        let mut long: Vec<(usize, usize, OpSpecId)> = Vec::new(); // (h*, len, op)
-        let mut short: Vec<(usize, OpSpecId)> = Vec::new();
+        let mut long: Vec<(usize, usize, OpSpecId, usize)> = Vec::new(); // (h*, eff_len, op, misses)
+        let mut short: Vec<(usize, OpSpecId, usize)> = Vec::new();
         for p in patterns {
             let pattern = self.bounded(p.literals(self.cfg.prune_rpcs));
             if pattern.is_empty() {
@@ -426,54 +486,84 @@ impl<'a> Detector<'a> {
             }
             // Greedy backward match: the minimal past half-width at which
             // the pattern is fully present, or None when it never
-            // completes.
-            if let Some(h) = index.min_anchored_half(pattern, center, upper) {
-                if pattern.len() >= self.cfg.min_pattern {
-                    long.push((h, pattern.len(), p.op));
+            // completes. Degraded mode retries with the miss budget only
+            // after the exact match fails.
+            let hit = index
+                .min_anchored_half(pattern, center, upper)
+                .map(|h| (h, 0usize))
+                .or_else(|| {
+                    if miss_budget == 0 {
+                        return None;
+                    }
+                    let budget = miss_budget.min(pattern.len() - 1);
+                    index.min_anchored_half_with_misses(pattern, center, upper, budget)
+                });
+            if let Some((h, misses)) = hit {
+                // A bridged literal is absent evidence: score the pattern
+                // by what was actually observed.
+                let eff_len = pattern.len() - misses;
+                if eff_len >= self.cfg.min_pattern {
+                    long.push((h, eff_len, p.op, misses));
                 } else {
-                    short.push((h, p.op));
+                    short.push((h, p.op, misses));
                 }
             }
         }
 
-        if let Some(&(h_min, _, _)) = long.iter().min_by_key(|&&(h, _, _)| h) {
+        if let Some(&(h_min, _, _, _)) = long.iter().min_by_key(|&&(h, _, _, _)| h) {
             // First growth step reaching h_min, plus the grace period.
             let k_first = h_min.saturating_sub(h0).div_ceil(delta.max(1));
             let h_stop = (h0 + (k_first + self.cfg.grace_steps) * delta).min(center.max(h0));
-            let eligible: Vec<(usize, OpSpecId)> = long
+            let eligible: Vec<(usize, OpSpecId, usize)> = long
                 .iter()
-                .filter(|&&(h, _, _)| h <= h_stop)
-                .map(|&(_, l, op)| (l, op))
+                .filter(|&&(h, _, _, _)| h <= h_stop)
+                .map(|&(_, l, op, m)| (l, op, m))
                 .collect();
-            let max_len = eligible.iter().map(|&(l, _)| l).max().unwrap_or(0);
-            let mut matched: Vec<OpSpecId> = eligible
+            let max_len = eligible.iter().map(|&(l, _, _)| l).max().unwrap_or(0);
+            let selected: Vec<(OpSpecId, usize)> = eligible
                 .into_iter()
-                .filter(|&(l, _)| l + slack >= max_len)
-                .map(|(_, op)| op)
+                .filter(|&(l, _, _)| l + slack >= max_len)
+                .map(|(_, op, m)| (op, m))
                 .collect();
-            matched.sort();
-            matched.dedup();
+            let (matched, misses) = collapse_by_op(selected);
             return DetectionOutcome {
                 theta: theta(matched.len(), self.lib.len()),
                 beta_used: (2 * h_stop + 1).min(filtered.len()),
                 candidates: patterns.len(),
                 matched,
+                misses,
             };
         }
 
         // Nothing substantial ever completed: fall back to the trivially
         // complete candidates (ops for which the offending API is their
         // opening state change).
-        let mut matched: Vec<OpSpecId> = short.into_iter().map(|(_, op)| op).collect();
-        matched.sort();
-        matched.dedup();
+        let (matched, misses) = collapse_by_op(short.into_iter().map(|(_, op, m)| (op, m)).collect());
         DetectionOutcome {
             theta: theta(matched.len(), self.lib.len()),
             beta_used: filtered.len(),
             candidates: patterns.len(),
             matched,
+            misses,
         }
     }
+}
+
+/// Deduplicate `(op, misses)` pairs by operation, keeping each operation's
+/// cheapest match, and report the maximum misses any surviving operation
+/// needed (how far degraded matching had to stretch).
+fn collapse_by_op(mut pairs: Vec<(OpSpecId, usize)>) -> (Vec<OpSpecId>, usize) {
+    pairs.sort();
+    let mut matched: Vec<OpSpecId> = Vec::with_capacity(pairs.len());
+    let mut worst = 0usize;
+    for (op, m) in pairs {
+        if matched.last() == Some(&op) {
+            continue; // sorted: the kept entry has the smaller miss count
+        }
+        matched.push(op);
+        worst = worst.max(m);
+    }
+    (matched, worst)
 }
 
 /// Collapse consecutive duplicate symbols (a serial operation's REST
@@ -515,6 +605,7 @@ mod tests {
             dst_node: NodeId(1),
             corr: None,
             fault: FaultMark::None,
+            gap_before: 0,
         }
     }
 
@@ -582,6 +673,59 @@ mod tests {
         assert_eq!(out.matched, vec![gretel_model::OpSpecId(1)]);
         // VM create is not even a candidate for the Glance PUT.
         assert!(!out.matched.contains(&gretel_model::OpSpecId(0)));
+    }
+
+    #[test]
+    fn gap_marker_enables_degraded_matching_across_a_hole() {
+        let (cat, lib) = library();
+        // Keep RPC literals and drop the length floor: the vm-create
+        // fingerprint's only unique mid-stream required literals are RPCs.
+        let cfg = GretelConfig {
+            alpha: 16,
+            prune_rpcs: false,
+            max_literals: None,
+            min_pattern: 3,
+            ..Default::default()
+        };
+        let detector = Detector::new(&lib, cfg);
+        let fp = lib.get(gretel_model::OpSpecId(0));
+        let spec_events: Vec<Event> = fp
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                event(i as u64, a.api, cat.get(a.api).is_state_change(), cat.get(a.api).is_rpc())
+            })
+            .collect();
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let fault_index = spec_events.iter().position(|e| e.api == ports_post).unwrap();
+        let mut events: Vec<Event> = spec_events[..=fault_index].to_vec();
+        // Simulate a lost frame: remove a mid-stream *required* literal
+        // (non-starred — starred atoms may be absent anyway) that occurs
+        // exactly once in the fingerprint.
+        let once =
+            |api: gretel_model::ApiId| fp.atoms.iter().filter(|a| a.api == api).count() == 1;
+        let hole = (1..fault_index)
+            .rev()
+            .find(|&i| !fp.atoms[i].starred && once(events[i].api))
+            .expect("unique required literal");
+        events.remove(hole);
+        let fault_index = fault_index - 1;
+
+        // Without a gap marker there is no miss budget: the truncated
+        // fingerprint cannot be present and the match fails.
+        let snap = snapshot_from(events.clone(), fault_index);
+        let out = detector.detect_operational_snapshot(&snap, ports_post);
+        assert!(out.matched.is_empty(), "no marker, no widening: {:?}", out.matched);
+        assert_eq!(out.misses, 0);
+
+        // The receiver noticed the loss: the event after the hole carries a
+        // gap marker, funding one miss — degraded matching bridges it.
+        events[hole].gap_before = 1;
+        let snap = snapshot_from(events, fault_index);
+        let out = detector.detect_operational_snapshot(&snap, ports_post);
+        assert_eq!(out.matched, vec![gretel_model::OpSpecId(0)]);
+        assert!(out.misses >= 1, "bridged the hole: misses={}", out.misses);
     }
 
     #[test]

@@ -59,6 +59,10 @@ pub struct Event {
     pub corr: Option<u64>,
     /// Byte-scan fault classification.
     pub fault: FaultMark,
+    /// Capture-gap marker: frames the receiver inferred lost immediately
+    /// before this event (0 = clean capture). Non-zero values make every
+    /// snapshot containing this event a degraded-confidence snapshot.
+    pub gap_before: u32,
 }
 
 impl Event {
@@ -83,6 +87,7 @@ impl Event {
             dst_node: msg.dst_node,
             corr: msg.correlation_id,
             fault,
+            gap_before: 0,
         }
     }
 }

@@ -176,6 +176,7 @@ mod tests {
             dst_node: NodeId(1),
             corr: None,
             fault: FaultMark::None,
+            gap_before: 0,
         }
     }
 

@@ -52,6 +52,9 @@ pub use fingerprint::{
 pub use matcher::PositionIndex;
 pub use perf::{PerfFault, PerfMonitor};
 pub use rca::{CauseKind, RcaEngine, RootCause};
-pub use report::{Diagnosis, FaultKind};
-pub use service::{run_service, run_service_sharded, ServiceStats};
+pub use report::{CaptureConfidence, Diagnosis, FaultKind};
+pub use service::{
+    run_service, run_service_cfg, run_service_sharded, BackpressurePolicy, ServiceConfig,
+    ServiceStats,
+};
 pub use window::{SlidingWindow, Snapshot};

@@ -160,6 +160,52 @@ impl PositionIndex {
         }
         Some(center - bound)
     }
+
+    /// Degraded-mode variant of [`PositionIndex::min_anchored_half`]: up to
+    /// `max_misses` pattern literals may be absent from the buffer — each
+    /// skipped literal models a symbol swallowed by a capture gap. Greedy
+    /// from the end, like the exact matcher: a literal with no occurrence
+    /// before the current cursor consumes one miss and the cursor stays
+    /// put. Returns `(half_width, misses_used)`; `None` when the budget is
+    /// exceeded or no literal matched at all (a match built purely of
+    /// misses carries no evidence). With `max_misses == 0` this is exactly
+    /// `min_anchored_half`.
+    pub fn min_anchored_half_with_misses(
+        &self,
+        pattern: &[ApiId],
+        center: usize,
+        bound: usize,
+        max_misses: usize,
+    ) -> Option<(usize, usize)> {
+        if pattern.is_empty() {
+            return Some((0, 0));
+        }
+        let mut bound = bound.min(self.len);
+        let mut misses = 0usize;
+        let mut matched = 0usize;
+        for &lit in pattern.iter().rev() {
+            let hit = self.positions.get(&lit).and_then(|occ| {
+                let i = occ.partition_point(|&p| p < bound);
+                (i > 0).then(|| occ[i - 1])
+            });
+            match hit {
+                Some(p) => {
+                    bound = p;
+                    matched += 1;
+                }
+                None => {
+                    misses += 1;
+                    if misses > max_misses {
+                        return None;
+                    }
+                }
+            }
+        }
+        if matched == 0 {
+            return None;
+        }
+        Some((center - bound, misses))
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +422,49 @@ mod tests {
         let idx = PositionIndex::new(&[f.post_servers]);
         assert_eq!(idx.min_anchored_half(&[], 0, 1), Some(0));
         assert_eq!(idx.min_anchored_half(&[f.post_ports], 0, 1), None);
+    }
+
+    #[test]
+    fn zero_miss_budget_equals_exact_matching() {
+        use rand::prelude::*;
+        let f = fx();
+        let pool = pool(&f);
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..80 {
+            let buffer: Vec<ApiId> =
+                (0..rng.gen_range(1usize..48)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let idx = PositionIndex::new(&buffer);
+            let center = rng.gen_range(0..buffer.len());
+            let bound = center + 1;
+            let pattern: Vec<ApiId> =
+                (0..rng.gen_range(1usize..5)).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            let exact = idx.min_anchored_half(&pattern, center, bound);
+            let degraded = idx.min_anchored_half_with_misses(&pattern, center, bound, 0);
+            assert_eq!(degraded, exact.map(|h| (h, 0)), "pattern {pattern:?} of {buffer:?}");
+        }
+    }
+
+    #[test]
+    fn miss_budget_bridges_a_hole_in_the_buffer() {
+        let f = fx();
+        // Pattern E B F, but B (the RPC literal) never made it into the
+        // capture: exact matching fails, one miss bridges it.
+        let buffer = vec![f.post_servers, f.get_nets, f.post_ports];
+        let idx = PositionIndex::new(&buffer);
+        let pattern = [f.post_servers, f.rpc_boot, f.post_ports];
+        assert_eq!(idx.min_anchored_half(&pattern, 2, 3), None);
+        assert_eq!(idx.min_anchored_half_with_misses(&pattern, 2, 3, 0), None);
+        assert_eq!(idx.min_anchored_half_with_misses(&pattern, 2, 3, 1), Some((2, 1)));
+        // A bigger budget does not inflate the reported misses.
+        assert_eq!(idx.min_anchored_half_with_misses(&pattern, 2, 3, 5), Some((2, 1)));
+    }
+
+    #[test]
+    fn all_misses_is_not_a_match() {
+        let f = fx();
+        let idx = PositionIndex::new(&[f.get_nets, f.get_sg]);
+        let pattern = [f.post_servers, f.post_ports];
+        assert_eq!(idx.min_anchored_half_with_misses(&pattern, 1, 2, 2), None);
     }
 }
 

@@ -28,6 +28,40 @@ pub enum FaultKind {
     },
 }
 
+/// How much of the capture around a fault actually reached the analyzer.
+///
+/// A diagnosis is never silently wrong about its evidence: when the frozen
+/// window contains capture-gap markers (frames the receiver inferred lost
+/// from per-agent sequence numbers), the diagnosis says so instead of
+/// presenting a lossy match as exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum CaptureConfidence {
+    /// Every frame around the fault was captured; matching ran on complete
+    /// evidence.
+    Exact,
+    /// The snapshot window spans capture gaps; matching may have widened
+    /// across the holes (degraded mode).
+    Degraded {
+        /// Distinct gap markers inside the window.
+        gaps: u32,
+        /// Total frames inferred lost inside the window.
+        lost: u32,
+    },
+}
+
+impl CaptureConfidence {
+    /// True for [`CaptureConfidence::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, CaptureConfidence::Exact)
+    }
+}
+
+impl Default for CaptureConfidence {
+    fn default() -> Self {
+        CaptureConfidence::Exact
+    }
+}
+
 /// One complete diagnosis.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct Diagnosis {
@@ -48,6 +82,8 @@ pub struct Diagnosis {
     pub candidates: usize,
     /// Root causes, most relevant first.
     pub root_causes: Vec<RootCause>,
+    /// Capture quality of the snapshot this diagnosis was made from.
+    pub confidence: CaptureConfidence,
 }
 
 impl Diagnosis {
@@ -89,6 +125,11 @@ impl Diagnosis {
             self.theta,
             self.beta_used
         ));
+        if let CaptureConfidence::Degraded { gaps, lost } = self.confidence {
+            out.push_str(&format!(
+                "  capture DEGRADED: {lost} frame(s) lost across {gaps} gap(s) in the window\n"
+            ));
+        }
         for op in &self.matched {
             let name = specs
                 .get(op.index())
@@ -137,13 +178,34 @@ mod tests {
                 cause: CauseKind::Dependency(Dependency::ServiceProcess(Service::Glance)),
                 why: "glance-service reported down".into(),
             }],
+            confidence: CaptureConfidence::Exact,
         };
         let s = d.render(&[spec("image.upload.canonical")]);
         assert!(s.contains("OPERATIONAL"));
         assert!(s.contains("HTTP 413"));
         assert!(s.contains("image.upload.canonical"));
         assert!(s.contains("glance-service reported down"));
+        assert!(!s.contains("DEGRADED"));
         assert!(d.is_precise());
+    }
+
+    #[test]
+    fn render_mentions_degraded_capture() {
+        let d = Diagnosis {
+            kind: FaultKind::Operational { status: Some(500), rpc: false },
+            api: ApiId(5),
+            ts: 0,
+            matched: vec![OpSpecId(0)],
+            theta: 1.0,
+            beta_used: 32,
+            candidates: 4,
+            root_causes: vec![],
+            confidence: CaptureConfidence::Degraded { gaps: 2, lost: 7 },
+        };
+        let s = d.render(&[spec("op")]);
+        assert!(s.contains("capture DEGRADED"));
+        assert!(s.contains("7 frame(s) lost across 2 gap(s)"));
+        assert!(!d.confidence.is_exact());
     }
 
     #[test]
@@ -157,6 +219,7 @@ mod tests {
             beta_used: 768,
             candidates: 3,
             root_causes: vec![],
+            confidence: CaptureConfidence::Exact,
         };
         let s = d.render(&[]);
         assert!(s.contains("PERFORMANCE"));

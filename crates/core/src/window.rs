@@ -22,6 +22,22 @@ pub struct Snapshot {
     pub fault_index: usize,
 }
 
+impl Snapshot {
+    /// Number of events in this window carrying a capture-gap marker
+    /// (`gap_before > 0`): distinct places where the receiver knows frames
+    /// went missing.
+    pub fn gap_markers(&self) -> u32 {
+        self.events.iter().filter(|e| e.gap_before > 0).count() as u32
+    }
+
+    /// Total frames inferred lost inside this window (sum of the events'
+    /// `gap_before` markers). Zero means the capture around this fault was
+    /// complete and any diagnosis from it is `Exact`.
+    pub fn lost_frames(&self) -> u32 {
+        self.events.iter().map(|e| e.gap_before).sum()
+    }
+}
+
 struct Armed {
     fault: Event,
     remaining: usize,
@@ -38,6 +54,7 @@ struct Armed {
 ///     is_rpc: false, state_change: false, noise_api: false,
 ///     src_node: NodeId(0), dst_node: NodeId(1), corr: None,
 ///     fault: FaultMark::None,
+///     gap_before: 0,
 /// };
 /// let mut w = SlidingWindow::new(8);
 /// for i in 0..8 { assert!(w.push(ev(i)).is_empty()); }
@@ -166,6 +183,7 @@ mod tests {
             dst_node: NodeId(1),
             corr: None,
             fault: FaultMark::None,
+            gap_before: 0,
         }
     }
 
@@ -259,6 +277,27 @@ mod tests {
         assert_eq!(w.len(), 3);
         let ids: Vec<u64> = w.events().map(|e| e.id.0).collect();
         assert_eq!(ids, vec![17, 18, 19], "shrink keeps the newest");
+    }
+
+    #[test]
+    fn snapshot_counts_gap_markers() {
+        let mut w = SlidingWindow::new(8);
+        for i in 0..6 {
+            let mut e = ev(i);
+            if i == 2 {
+                e.gap_before = 3;
+            }
+            if i == 4 {
+                e.gap_before = 1;
+            }
+            w.push(e);
+        }
+        let f = ev(6);
+        w.push(f);
+        w.arm(f);
+        let snaps = w.flush();
+        assert_eq!(snaps[0].gap_markers(), 2);
+        assert_eq!(snaps[0].lost_frames(), 4);
     }
 
     #[test]

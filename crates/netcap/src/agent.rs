@@ -9,9 +9,11 @@
 //! encoded frames over an in-process channel.
 
 use crate::frame;
+use crate::stats::CaptureStats;
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender};
 use gretel_model::{Message, NodeId, Service};
+use std::collections::BTreeMap;
 
 /// Traffic filter applied by agents: GRETEL monitors REST/RPC control
 /// traffic only; database and NTP chatter is out of scope.
@@ -21,6 +23,40 @@ pub fn is_relevant(msg: &Message) -> bool {
 }
 
 /// A per-node capture agent.
+///
+/// Egress capture: an agent owns exactly the messages whose source node it
+/// watches, so across a deployment every message is captured once.
+///
+/// ```
+/// use gretel_model::{
+///     ApiId, ConnKey, Direction, HttpMethod, Message, MessageId, NodeId, Service, WireKind,
+/// };
+/// use gretel_netcap::{decode_one, CaptureAgent};
+///
+/// let msg = Message {
+///     id: MessageId(7),
+///     ts_us: 1_000,
+///     src_node: NodeId(2),
+///     dst_node: NodeId(0),
+///     src_service: Service::Nova,
+///     dst_service: Service::Neutron,
+///     api: ApiId(12),
+///     direction: Direction::Request,
+///     wire: WireKind::Rest { method: HttpMethod::Get, uri: "/v2.0/ports.json".into(), status: None },
+///     conn: ConnKey::default(),
+///     payload: vec![],
+///     correlation_id: None,
+///     truth_op: None,
+///     truth_noise: false,
+/// };
+///
+/// let agent = CaptureAgent::new(NodeId(2));
+/// assert!(agent.observes(&msg)); // egress: the source node's agent owns it
+/// assert!(!CaptureAgent::new(NodeId(0)).observes(&msg));
+///
+/// let frames = agent.capture([&msg]);
+/// assert_eq!(decode_one(&frames[0]).unwrap(), msg);
+/// ```
 #[derive(Debug, Clone)]
 pub struct CaptureAgent {
     node: NodeId,
@@ -52,6 +88,23 @@ impl CaptureAgent {
             .into_iter()
             .filter(|m| self.observes(m))
             .map(frame::encode)
+            .collect()
+    }
+
+    /// Like [`CaptureAgent::capture`], but stamp each frame with a
+    /// consecutive per-agent sequence number starting at `start_seq` (see
+    /// [`frame::encode_seq`]). The receiver uses the numbers to detect
+    /// capture loss.
+    pub fn capture_seq<'m>(
+        &self,
+        traffic: impl IntoIterator<Item = &'m Message>,
+        start_seq: u64,
+    ) -> Vec<Bytes> {
+        traffic
+            .into_iter()
+            .filter(|m| self.observes(m))
+            .enumerate()
+            .map(|(i, m)| frame::encode_seq(m, start_seq + i as u64))
             .collect()
     }
 }
@@ -383,5 +436,445 @@ mod skew_tests {
         for w in skewed.windows(2) {
             assert!((w[0].ts_us, w[0].id) <= (w[1].ts_us, w[1].id));
         }
+    }
+}
+
+/// Deterministic 64-bit hash of (seed, agent, index, salt) — splitmix64
+/// finalizer, same family as [`degrade`]'s per-message coin. Every
+/// impairment decision is a pure function of these four values, so a run is
+/// reproducible regardless of thread scheduling or batch boundaries.
+fn mix64(seed: u64, agent: u8, idx: u64, salt: u64) -> u64 {
+    let mut x = seed
+        ^ (agent as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ (idx + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (salt + 1).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+fn coin(seed: u64, agent: u8, idx: u64, salt: u64) -> f64 {
+    (mix64(seed, agent, idx, salt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// An agent outage: the agent captures nothing for a window of frames and
+/// then comes back (a Bro worker restart). Frame indices are counted per
+/// agent from the start of its stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallSpec {
+    /// First frame index swallowed by the stall.
+    pub start_frame: u64,
+    /// How many consecutive frames the stall swallows.
+    pub frames: u64,
+}
+
+/// Seeded, deterministic capture-plane impairment.
+///
+/// Wraps any agent's encoded frame stream and perturbs it the way an
+/// overloaded tap does: independent probabilistic frame drop and
+/// duplication, bounded reordering (a frame may be delayed by at most
+/// `reorder_span` positions), and an optional agent stall window. All
+/// decisions derive from `(seed, agent, frame index)`, so two runs with the
+/// same seed impair identically.
+///
+/// ```
+/// use bytes::Bytes;
+/// use gretel_model::NodeId;
+/// use gretel_netcap::{CaptureImpairment, CaptureStats};
+///
+/// let frames: Vec<Bytes> = (0..100u8).map(|i| Bytes::from(vec![i])).collect();
+/// let imp = CaptureImpairment { drop_prob: 0.2, seed: 7, ..CaptureImpairment::none() };
+///
+/// let mut stats = CaptureStats::default();
+/// let out = imp.apply(NodeId(0), frames.clone(), &mut stats);
+/// assert_eq!(stats.frames, 100);
+/// assert!(stats.dropped > 0);
+/// assert_eq!(out.len() as u64, 100 - stats.dropped);
+///
+/// // Same seed, same impairment: the injector is deterministic.
+/// let mut again = CaptureStats::default();
+/// assert_eq!(imp.apply(NodeId(0), frames, &mut again), out);
+/// assert_eq!(again, stats);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureImpairment {
+    /// Independent probability of dropping each frame.
+    pub drop_prob: f64,
+    /// Independent probability of emitting each frame twice.
+    pub dup_prob: f64,
+    /// Independent probability of delaying a frame out of order.
+    pub reorder_prob: f64,
+    /// Maximum positions a reordered frame is delayed by (bounded reorder).
+    pub reorder_span: usize,
+    /// Optional agent stall-and-restart window.
+    pub stall: Option<StallSpec>,
+    /// RNG seed; all decisions are pure functions of it.
+    pub seed: u64,
+}
+
+impl CaptureImpairment {
+    /// The identity impairment: every rate zero, no stall.
+    pub fn none() -> CaptureImpairment {
+        CaptureImpairment {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_span: 0,
+            stall: None,
+            seed: 0,
+        }
+    }
+
+    /// True when applying this impairment cannot change any stream.
+    pub fn is_noop(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.dup_prob <= 0.0
+            && (self.reorder_prob <= 0.0 || self.reorder_span == 0)
+            && self.stall.is_none()
+    }
+
+    /// Perturb one agent's frame stream, accumulating what happened into
+    /// `stats`. Frame indices continue across calls only if the caller
+    /// passes the whole stream at once; pass a full capture batch for
+    /// reproducible results.
+    pub fn apply(&self, agent: NodeId, frames: Vec<Bytes>, stats: &mut CaptureStats) -> Vec<Bytes> {
+        stats.frames += frames.len() as u64;
+        if self.is_noop() {
+            return frames;
+        }
+        let mut survivors: Vec<Bytes> = Vec::with_capacity(frames.len());
+        for (i, f) in frames.into_iter().enumerate() {
+            let idx = i as u64;
+            if let Some(s) = self.stall {
+                if idx >= s.start_frame && idx < s.start_frame.saturating_add(s.frames) {
+                    stats.stalled += 1;
+                    continue;
+                }
+            }
+            if self.drop_prob > 0.0 && coin(self.seed, agent.0, idx, 1) < self.drop_prob {
+                stats.dropped += 1;
+                continue;
+            }
+            if self.dup_prob > 0.0 && coin(self.seed, agent.0, idx, 2) < self.dup_prob {
+                stats.duplicated += 1;
+                survivors.push(f.clone());
+            }
+            survivors.push(f);
+        }
+        if self.reorder_prob > 0.0 && self.reorder_span > 0 {
+            // Delay selected frames by a bounded number of positions: give
+            // each survivor a sort key of its position plus jitter, then
+            // stable-sort. Un-jittered frames keep their relative order.
+            let mut keyed: Vec<(usize, usize, Bytes)> = survivors
+                .into_iter()
+                .enumerate()
+                .map(|(j, f)| {
+                    let jitter = if coin(self.seed, agent.0, j as u64, 3) < self.reorder_prob {
+                        1 + (mix64(self.seed, agent.0, j as u64, 4) as usize % self.reorder_span)
+                    } else {
+                        0
+                    };
+                    (j + jitter, j, f)
+                })
+                .collect();
+            keyed.sort_by_key(|&(key, _, _)| key);
+            stats.reordered +=
+                keyed.iter().enumerate().filter(|&(out_j, &(_, j, _))| out_j != j).count() as u64;
+            survivors = keyed.into_iter().map(|(_, _, f)| f).collect();
+        }
+        survivors
+    }
+}
+
+/// Receiver-side per-agent sequence tracking.
+///
+/// Consumes `(seq, message)` pairs as decoded off one agent's link and
+/// restores sequence order where possible: out-of-order frames are parked
+/// in a bounded pending buffer, duplicates (an already-delivered or
+/// already-pending sequence number) are discarded, and once the buffer
+/// exceeds its depth the resequencer force-advances past the missing
+/// numbers, reporting them as a capture gap. Each emitted message carries
+/// the number of frames inferred lost immediately before it — the
+/// "synthetic gap marker" the analyzer turns into degraded-confidence
+/// diagnoses.
+///
+/// Frames with no sequence number (legacy captures) pass straight through.
+#[derive(Debug, Default)]
+pub struct Resequencer {
+    next: u64,
+    pending: BTreeMap<u64, Message>,
+    depth: usize,
+    stats: CaptureStats,
+}
+
+impl Resequencer {
+    /// A resequencer willing to park up to `depth` out-of-order frames.
+    /// Depth 0 never reorders: any forward jump is reported as a gap
+    /// immediately.
+    pub fn new(depth: usize) -> Resequencer {
+        Resequencer { next: 0, pending: BTreeMap::new(), depth, stats: CaptureStats::default() }
+    }
+
+    /// Feed one decoded frame. Returns the messages released in sequence
+    /// order, each tagged with the count of frames lost immediately before
+    /// it (0 = no gap).
+    pub fn push(&mut self, seq: Option<u64>, msg: Message) -> Vec<(u32, Message)> {
+        let mut out = Vec::with_capacity(1);
+        let Some(seq) = seq else {
+            // Unsequenced frame: nothing to infer, pass through.
+            out.push((0, msg));
+            return out;
+        };
+        if seq < self.next || self.pending.contains_key(&seq) {
+            self.stats.dup_discarded += 1;
+            return out;
+        }
+        if seq == self.next {
+            self.next += 1;
+            out.push((0, msg));
+            self.drain_ready(&mut out);
+        } else {
+            self.pending.insert(seq, msg);
+            while self.pending.len() > self.depth {
+                self.force_advance(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Release everything still pending (end of stream), reporting the
+    /// remaining holes as gaps.
+    pub fn flush(&mut self) -> Vec<(u32, Message)> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while !self.pending.is_empty() {
+            self.force_advance(&mut out);
+        }
+        out
+    }
+
+    /// What this resequencer observed so far (`gaps`, `lost`,
+    /// `dup_discarded`; the injector-side counters stay zero).
+    pub fn stats(&self) -> CaptureStats {
+        self.stats
+    }
+
+    fn force_advance(&mut self, out: &mut Vec<(u32, Message)>) {
+        let Some((seq, msg)) = self.pending.pop_first() else { return };
+        let gap = seq - self.next;
+        if gap > 0 {
+            self.stats.gaps += 1;
+            self.stats.lost += gap;
+        }
+        self.next = seq + 1;
+        out.push((gap as u32, msg));
+        self.drain_ready(out);
+    }
+
+    fn drain_ready(&mut self, out: &mut Vec<(u32, Message)>) {
+        while let Some(msg) = self.pending.remove(&self.next) {
+            self.next += 1;
+            out.push((0, msg));
+        }
+    }
+}
+
+#[cfg(test)]
+mod impairment_tests {
+    use super::*;
+    use gretel_model::{ApiId, ConnKey, Direction, HttpMethod, MessageId, Service, WireKind};
+
+    fn frames(n: u64) -> Vec<Bytes> {
+        (0..n).map(|i| Bytes::from(i.to_le_bytes().to_vec())).collect()
+    }
+
+    fn msg(id: u64) -> Message {
+        Message {
+            id: MessageId(id),
+            ts_us: id,
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            src_service: Service::Nova,
+            dst_service: Service::Neutron,
+            api: ApiId(1),
+            direction: Direction::Request,
+            wire: WireKind::Rest { method: HttpMethod::Get, uri: "/x".into(), status: None },
+            conn: ConnKey::default(),
+            payload: vec![],
+            correlation_id: None,
+            truth_op: None,
+            truth_noise: false,
+        }
+    }
+
+    #[test]
+    fn noop_impairment_is_identity() {
+        let f = frames(50);
+        let mut stats = CaptureStats::default();
+        let out = CaptureImpairment::none().apply(NodeId(3), f.clone(), &mut stats);
+        assert_eq!(out, f);
+        assert_eq!(stats.frames, 50);
+        assert!(stats.is_clean());
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honored() {
+        let f = frames(10_000);
+        let mut stats = CaptureStats::default();
+        let imp = CaptureImpairment { drop_prob: 0.1, seed: 11, ..CaptureImpairment::none() };
+        let out = imp.apply(NodeId(0), f, &mut stats);
+        let kept = out.len() as f64 / 10_000.0;
+        assert!((kept - 0.9).abs() < 0.02, "kept {kept}");
+        assert_eq!(out.len() as u64 + stats.dropped, stats.frames);
+    }
+
+    #[test]
+    fn duplication_emits_adjacent_copies() {
+        let f = frames(5_000);
+        let mut stats = CaptureStats::default();
+        let imp = CaptureImpairment { dup_prob: 0.2, seed: 12, ..CaptureImpairment::none() };
+        let out = imp.apply(NodeId(0), f, &mut stats);
+        assert_eq!(out.len() as u64, stats.frames + stats.duplicated);
+        assert!(stats.duplicated > 0);
+        let adjacent_pairs = out.windows(2).filter(|w| w[0] == w[1]).count() as u64;
+        assert!(adjacent_pairs >= stats.duplicated);
+    }
+
+    #[test]
+    fn reorder_is_bounded_by_span() {
+        let f = frames(2_000);
+        let mut stats = CaptureStats::default();
+        let imp = CaptureImpairment {
+            reorder_prob: 0.3,
+            reorder_span: 4,
+            seed: 13,
+            ..CaptureImpairment::none()
+        };
+        let out = imp.apply(NodeId(0), f.clone(), &mut stats);
+        assert!(stats.reordered > 0);
+        assert_eq!(out.len(), f.len());
+        // A frame at original position j lands no more than span positions
+        // later and can slide at most span positions earlier.
+        for (out_j, b) in out.iter().enumerate() {
+            let j = f.iter().position(|o| o == b).unwrap();
+            assert!((out_j as i64 - j as i64).abs() <= 4, "moved {j} -> {out_j}");
+        }
+    }
+
+    #[test]
+    fn stall_swallows_a_window() {
+        let f = frames(100);
+        let mut stats = CaptureStats::default();
+        let imp = CaptureImpairment {
+            stall: Some(StallSpec { start_frame: 10, frames: 25 }),
+            ..CaptureImpairment::none()
+        };
+        let out = imp.apply(NodeId(0), f.clone(), &mut stats);
+        assert_eq!(stats.stalled, 25);
+        assert_eq!(out.len(), 75);
+        assert_eq!(out[9], f[9]);
+        assert_eq!(out[10], f[35]);
+    }
+
+    #[test]
+    fn impairment_is_deterministic_per_agent() {
+        let f = frames(1_000);
+        let imp = CaptureImpairment {
+            drop_prob: 0.1,
+            dup_prob: 0.05,
+            reorder_prob: 0.1,
+            reorder_span: 3,
+            stall: None,
+            seed: 42,
+        };
+        let mut s1 = CaptureStats::default();
+        let mut s2 = CaptureStats::default();
+        let a = imp.apply(NodeId(1), f.clone(), &mut s1);
+        let b = imp.apply(NodeId(1), f.clone(), &mut s2);
+        assert_eq!(a, b);
+        assert_eq!(s1, s2);
+        // Different agents see different coin streams.
+        let mut s3 = CaptureStats::default();
+        let c = imp.apply(NodeId(2), f, &mut s3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn resequencer_passes_in_order_frames_through() {
+        let mut rsq = Resequencer::new(8);
+        let mut got = Vec::new();
+        for i in 0..10 {
+            got.extend(rsq.push(Some(i), msg(i)));
+        }
+        got.extend(rsq.flush());
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|(gap, _)| *gap == 0));
+        assert!(rsq.stats().is_clean());
+    }
+
+    #[test]
+    fn resequencer_repairs_bounded_reorder_without_gaps() {
+        let mut rsq = Resequencer::new(8);
+        let mut got = Vec::new();
+        for seq in [1u64, 0, 2, 4, 3, 5] {
+            got.extend(rsq.push(Some(seq), msg(seq)));
+        }
+        got.extend(rsq.flush());
+        let seqs: Vec<u64> = got.iter().map(|(_, m)| m.id.0).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        assert!(got.iter().all(|(gap, _)| *gap == 0));
+        assert_eq!(rsq.stats().gaps, 0);
+    }
+
+    #[test]
+    fn resequencer_reports_losses_as_gaps() {
+        let mut rsq = Resequencer::new(2);
+        let mut got = Vec::new();
+        // Seqs 1 and 2 never arrive.
+        for seq in [0u64, 3, 4, 5, 6] {
+            got.extend(rsq.push(Some(seq), msg(seq)));
+        }
+        got.extend(rsq.flush());
+        let gaps: Vec<u32> = got.iter().map(|(gap, _)| *gap).collect();
+        assert_eq!(gaps, vec![0, 2, 0, 0, 0]);
+        assert_eq!(rsq.stats().gaps, 1);
+        assert_eq!(rsq.stats().lost, 2);
+    }
+
+    #[test]
+    fn resequencer_discards_duplicates() {
+        let mut rsq = Resequencer::new(4);
+        let mut got = Vec::new();
+        for seq in [0u64, 1, 1, 0, 2, 2] {
+            got.extend(rsq.push(Some(seq), msg(seq)));
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(rsq.stats().dup_discarded, 3);
+        assert_eq!(rsq.stats().lost, 0);
+    }
+
+    #[test]
+    fn resequencer_flush_reports_trailing_holes() {
+        let mut rsq = Resequencer::new(16);
+        let mut got = Vec::new();
+        got.extend(rsq.push(Some(0), msg(0)));
+        got.extend(rsq.push(Some(5), msg(5)));
+        got.extend(rsq.push(Some(7), msg(7)));
+        got.extend(rsq.flush());
+        let gaps: Vec<u32> = got.iter().map(|(gap, _)| *gap).collect();
+        assert_eq!(gaps, vec![0, 4, 1]);
+        assert_eq!(rsq.stats().gaps, 2);
+        assert_eq!(rsq.stats().lost, 5);
+    }
+
+    #[test]
+    fn unsequenced_frames_bypass_tracking() {
+        let mut rsq = Resequencer::new(4);
+        let got = rsq.push(None, msg(99));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 0);
+        assert!(rsq.stats().is_clean());
     }
 }

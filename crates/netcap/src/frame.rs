@@ -13,7 +13,7 @@
 //! u16  magic (0x4752 "GR")
 //! u8   version (1)
 //! u8   flags: bit0 direction=response, bit1 is_rpc, bit2 has_truth_op,
-//!             bit3 truth_noise, bit4 has_correlation_id
+//!             bit3 truth_noise, bit4 has_correlation_id, bit5 has_seq
 //! u64  message id
 //! u64  timestamp (µs)
 //! u8   src node | u8 dst node | u8 src service | u8 dst service
@@ -26,7 +26,13 @@
 //! u32  payload len | payload bytes
 //! u64  truth op (only when bit2 set)
 //! u64  correlation id (only when bit4 set)
+//! u64  per-agent frame sequence number (only when bit5 set)
 //! ```
+//!
+//! The sequence number is a capture-plane field, not a message field: each
+//! agent stamps its frames 0, 1, 2, … so the receiver can detect capture
+//! loss (gaps), duplicates, and reordering per agent. Frames without bit5
+//! (pre-existing dumps) decode as "no sequence information".
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gretel_model::{
@@ -71,6 +77,7 @@ const FLAG_RPC: u8 = 1 << 1;
 const FLAG_TRUTH_OP: u8 = 1 << 2;
 const FLAG_NOISE: u8 = 1 << 3;
 const FLAG_CORR_ID: u8 = 1 << 4;
+const FLAG_SEQ: u8 = 1 << 5;
 
 fn method_to_u8(m: HttpMethod) -> u8 {
     match m {
@@ -97,6 +104,18 @@ fn method_from_u8(v: u8) -> Option<HttpMethod> {
 
 /// Encode one message as a framed byte buffer.
 pub fn encode(msg: &Message) -> Bytes {
+    encode_inner(msg, None)
+}
+
+/// Encode one message with a per-agent frame sequence number.
+///
+/// The receiver recovers the number with [`decode_seq`]/[`decode_one_seq`]
+/// and uses it to detect capture gaps and duplicates per agent.
+pub fn encode_seq(msg: &Message, seq: u64) -> Bytes {
+    encode_inner(msg, Some(seq))
+}
+
+fn encode_inner(msg: &Message, seq: Option<u64>) -> Bytes {
     let mut body = BytesMut::with_capacity(64 + msg.payload.len());
     let mut flags = 0u8;
     if msg.direction == Direction::Response {
@@ -113,6 +132,9 @@ pub fn encode(msg: &Message) -> Bytes {
     }
     if msg.correlation_id.is_some() {
         flags |= FLAG_CORR_ID;
+    }
+    if seq.is_some() {
+        flags |= FLAG_SEQ;
     }
     body.put_u16_le(MAGIC);
     body.put_u8(VERSION);
@@ -153,6 +175,9 @@ pub fn encode(msg: &Message) -> Bytes {
     if let Some(corr) = msg.correlation_id {
         body.put_u64_le(corr);
     }
+    if let Some(seq) = seq {
+        body.put_u64_le(seq);
+    }
 
     let mut framed = BytesMut::with_capacity(4 + body.len());
     framed.put_u32_le(body.len() as u32);
@@ -182,6 +207,15 @@ fn get_string(buf: &mut impl Buf) -> Result<String, CodecError> {
 /// Returns `Ok(None)` when the buffer does not yet hold a complete frame
 /// (stream decoding); errors are permanent for the frame.
 pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
+    Ok(decode_seq(buf)?.map(|(msg, _)| msg))
+}
+
+/// Decode one framed message plus its sequence number, if present.
+///
+/// Behaves exactly like [`decode`], additionally returning the per-agent
+/// frame sequence number for frames written by [`encode_seq`] (`None` for
+/// frames written by [`encode`]).
+pub fn decode_seq(buf: &mut BytesMut) -> Result<Option<(Message, Option<u64>)>, CodecError> {
     if buf.len() < 4 {
         return Ok(None);
     }
@@ -191,11 +225,11 @@ pub fn decode(buf: &mut BytesMut) -> Result<Option<Message>, CodecError> {
     }
     buf.advance(4);
     let mut frame = buf.split_to(frame_len);
-    let msg = decode_body(&mut frame)?;
-    Ok(Some(msg))
+    let decoded = decode_body(&mut frame)?;
+    Ok(Some(decoded))
 }
 
-fn decode_body(buf: &mut BytesMut) -> Result<Message, CodecError> {
+fn decode_body(buf: &mut BytesMut) -> Result<(Message, Option<u64>), CodecError> {
     need(buf, 2 + 1 + 1 + 8 + 8 + 4 + 2 + 2 + 4)?;
     let magic = buf.get_u16_le();
     if magic != MAGIC {
@@ -252,7 +286,13 @@ fn decode_body(buf: &mut BytesMut) -> Result<Message, CodecError> {
     } else {
         None
     };
-    Ok(Message {
+    let seq = if flags & FLAG_SEQ != 0 {
+        need(buf, 8)?;
+        Some(buf.get_u64_le())
+    } else {
+        None
+    };
+    let msg = Message {
         id,
         ts_us,
         src_node,
@@ -267,13 +307,20 @@ fn decode_body(buf: &mut BytesMut) -> Result<Message, CodecError> {
         correlation_id,
         truth_op,
         truth_noise: flags & FLAG_NOISE != 0,
-    })
+    };
+    Ok((msg, seq))
 }
 
 /// Convenience: decode a buffer holding exactly one frame.
 pub fn decode_one(bytes: &[u8]) -> Result<Message, CodecError> {
+    decode_one_seq(bytes).map(|(msg, _)| msg)
+}
+
+/// Convenience: decode a buffer holding exactly one frame, returning the
+/// per-agent sequence number when the frame carries one.
+pub fn decode_one_seq(bytes: &[u8]) -> Result<(Message, Option<u64>), CodecError> {
     let mut buf = BytesMut::from(bytes);
-    match decode(&mut buf)? {
+    match decode_seq(&mut buf)? {
         Some(m) if buf.is_empty() => Ok(m),
         Some(_) => Err(CodecError::InvalidField("trailing bytes")),
         None => Err(CodecError::Truncated),
@@ -426,5 +473,29 @@ mod tests {
     fn encoded_len_matches() {
         let m = sample_rest();
         assert_eq!(encoded_len(&m), encode(&m).len());
+    }
+
+    #[test]
+    fn seq_round_trips() {
+        let m = sample_rest();
+        let framed = encode_seq(&m, 9001);
+        assert_eq!(decode_one_seq(&framed).unwrap(), (m.clone(), Some(9001)));
+        // The plain decoders still accept seq-bearing frames.
+        assert_eq!(decode_one(&framed).unwrap(), m);
+    }
+
+    #[test]
+    fn unsequenced_frames_decode_as_seq_none() {
+        let m = sample_rpc();
+        assert_eq!(decode_one_seq(&encode(&m)).unwrap(), (m, None));
+    }
+
+    #[test]
+    fn seq_rides_after_truth_op_and_correlation_id() {
+        let mut m = sample_rest();
+        m.correlation_id = Some(0xC0FFEE);
+        let framed = encode_seq(&m, u64::MAX);
+        assert_eq!(decode_one_seq(&framed).unwrap(), (m.clone(), Some(u64::MAX)));
+        assert_eq!(framed.len(), encode(&m).len() + 8);
     }
 }

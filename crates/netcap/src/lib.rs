@@ -5,12 +5,16 @@
 //!
 //! * [`frame`] — length-delimited binary codec for captured messages (the
 //!   bytes whose volume the §7.4 throughput numbers measure);
-//! * [`agent`] — per-node egress capture agents, relevance filtering, and
-//!   the analyzer-side k-way merge back into one ordered stream;
+//! * [`agent`] — per-node egress capture agents, relevance filtering,
+//!   the analyzer-side k-way merge back into one ordered stream, plus the
+//!   capture-loss machinery: seeded [`CaptureImpairment`] injection and the
+//!   receiver-side [`Resequencer`] that turns sequence holes into explicit
+//!   gap markers;
 //! * [`pcap`] — libpcap-flavoured dump files for captured traffic;
-//! * [`stats`] — wall-clock throughput meters (events/s, Mbps).
+//! * [`stats`] — wall-clock throughput meters (events/s, Mbps) and
+//!   [`CaptureStats`] capture-quality counters.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod agent;
 pub mod frame;
@@ -19,8 +23,10 @@ pub mod stats;
 
 pub use agent::{
     capture_and_merge, degrade, is_relevant, merge_captures, skew_clocks, AgentLink,
-    CaptureAgent, Degradation,
+    CaptureAgent, CaptureImpairment, Degradation, Resequencer, StallSpec,
 };
-pub use frame::{decode, decode_one, encode, encoded_len, CodecError};
+pub use frame::{
+    decode, decode_one, decode_one_seq, decode_seq, encode, encode_seq, encoded_len, CodecError,
+};
 pub use pcap::PcapReader;
-pub use stats::ThroughputMeter;
+pub use stats::{CaptureStats, ThroughputMeter};

@@ -449,6 +449,21 @@ pub fn interfering_operations(catalog: &Arc<Catalog>, seed: u64, background: usi
     }
 }
 
+/// The operational (error-producing) case studies as one suite: the fault
+/// population that sweep experiments iterate over (e.g. the capture-loss
+/// robustness experiment, which re-runs each scenario under increasing
+/// impairment). Latency-based scenarios are excluded — performance
+/// detection under capture loss is a separate axis.
+pub fn operational_suite(catalog: &Arc<Catalog>, seed: u64, background: usize) -> Vec<Scenario> {
+    vec![
+        failed_image_upload(catalog, seed, background),
+        linuxbridge_crash(catalog, seed ^ 0x11, background),
+        no_compute_available(catalog, seed ^ 0x22, background),
+        mysql_outage(catalog, seed ^ 0x33, background),
+        rabbitmq_outage(catalog, seed ^ 0x44, background),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -553,6 +568,21 @@ mod tests {
         // No resource override, no dependency down: the watchers are all
         // healthy and resources nominal.
         assert!(exec.watchers.iter().all(|w| w.healthy));
+    }
+
+    #[test]
+    fn operational_suite_scenarios_all_put_errors_on_the_wire() {
+        let cat = Catalog::openstack();
+        let suite = operational_suite(&cat, 3, 2);
+        assert_eq!(suite.len(), 5);
+        for sc in suite {
+            let exec = sc.run(cat.clone());
+            assert!(
+                exec.messages.iter().any(|m| m.is_rest_error() || m.is_rpc_error()),
+                "{}: an error message on the wire",
+                sc.name
+            );
+        }
     }
 
     #[test]

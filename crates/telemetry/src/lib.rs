@@ -11,7 +11,7 @@
 //! * [`store`] — the analyzer-side [`store::TelemetryStore`] with the
 //!   anomaly queries root cause analysis runs (Algorithm 3).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod outlier;
 pub mod series;

@@ -7,3 +7,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Rustdoc must stay warning-free for the first-party crates, and the
+# runnable doc-examples are part of the test surface.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline \
+  -p gretel -p gretel-core -p gretel-model -p gretel-netcap \
+  -p gretel-sim -p gretel-telemetry -p gretel-bench -p gretel-hansel
+cargo test -q --offline --doc --workspace

@@ -36,6 +36,7 @@ fn build_events(catalog: &Catalog, apis: &[ApiId], fault_pos: usize, offending: 
                 dst_node: NodeId(1),
                 corr: None,
                 fault: FaultMark::None,
+                gap_before: 0,
             }
         })
         .collect();
@@ -46,6 +47,7 @@ fn build_events(catalog: &Catalog, apis: &[ApiId], fault_pos: usize, offending: 
         state_change: def.is_state_change(),
         noise_api: false,
         fault: FaultMark::RestError(500),
+        gap_before: 0,
         ..events[fault_pos]
     };
     events

@@ -193,6 +193,7 @@ proptest! {
             dst_node: NodeId(1),
             corr: None,
             fault: FaultMark::None,
+            gap_before: 0,
         };
         let mut w = SlidingWindow::new(alpha);
         for i in 0..n_before as u64 {

@@ -77,6 +77,35 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity; the value is handed back.
+    Full(T),
+    /// All receivers have disconnected; the value is handed back.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: Send> std::error::Error for TrySendError<T> {}
+
 pub struct Sender<T> {
     inner: Arc<Inner<T>>,
 }
@@ -117,6 +146,24 @@ impl<T> Sender<T> {
                     st = self.inner.not_full.wait(st).unwrap();
                 }
                 _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+    /// waiting when a bounded channel is at capacity.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.inner.cap {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
             }
         }
         st.queue.push_back(value);
@@ -268,6 +315,17 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]

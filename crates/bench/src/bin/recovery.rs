@@ -1,0 +1,199 @@
+//! Crash-recovery experiment: exactly-once diagnosis under analysis-plane
+//! failure.
+//!
+//! Each §7.2 operational case study is first run through the plain
+//! pipeline (the oracle), then repeatedly through the fault-tolerant
+//! service (`run_service_recoverable`) under increasing failure pressure:
+//! scheduled service crashes with checkpoint/replay restarts, chaos that
+//! kills every worker's first two attempts at a job, and an arm that
+//! corrupts every checkpoint record so restores fall back to older (or
+//! cold) state. For every run the committed diagnosis stream is compared
+//! against the oracle as a multiset: the headline numbers are **diagnoses
+//! lost** and **diagnoses duplicated**, and the acceptance target for both
+//! is zero at every crash rate.
+//!
+//! Usage: `cargo run --release -p gretel-bench --bin recovery [--seed N] [--smoke]`
+
+use gretel_bench::{arg, flag, results, Workbench};
+use gretel_core::{
+    run_service_cfg, run_service_recoverable, Analyzer, AnalyzerChaos, Diagnosis, GretelConfig,
+    RecoveryConfig, ServiceConfig,
+};
+use gretel_model::NodeId;
+use gretel_netcap::CaptureImpairment;
+use gretel_sim::scenario::operational_suite;
+use gretel_sim::CrashSchedule;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Service crashes scheduled per run.
+const CRASH_COUNTS: [usize; 4] = [0, 1, 2, 4];
+
+/// Multiset difference between the oracle's diagnoses and a recovery
+/// run's: `(lost, duplicated)`.
+fn diff(expected: &[Diagnosis], got: &[Diagnosis]) -> (usize, usize) {
+    let mut counts: HashMap<String, i64> = HashMap::new();
+    for d in expected {
+        *counts.entry(format!("{d:?}")).or_default() += 1;
+    }
+    for d in got {
+        *counts.entry(format!("{d:?}")).or_default() -= 1;
+    }
+    let lost = counts.values().filter(|&&c| c > 0).sum::<i64>() as usize;
+    let duplicated = counts.values().filter(|&&c| c < 0).map(|c| -c).sum::<i64>() as usize;
+    (lost, duplicated)
+}
+
+#[derive(Serialize)]
+struct Row {
+    scenario: String,
+    crashes_scheduled: usize,
+    corrupt_journal: bool,
+    diagnoses: usize,
+    lost: usize,
+    duplicated: usize,
+    identical: bool,
+    worker_crashes: u64,
+    jobs_requeued: u64,
+    restores: u64,
+    checkpoints_written: u64,
+    checkpoints_corrupt: u64,
+    replayed_frames: u64,
+    duplicate_releases_suppressed: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    seed: u64,
+    kill_prob: f64,
+    kill_attempts: u32,
+    max_attempts: u32,
+    rows: Vec<Row>,
+    total_lost: usize,
+    total_duplicated: usize,
+    all_identical: bool,
+}
+
+fn main() {
+    let seed: u64 = arg("--seed", 42);
+    let smoke = flag("--smoke");
+    let wb = Workbench::new(seed);
+
+    let suite = operational_suite(&wb.catalog, seed, 6);
+    let suite = if smoke { &suite[..1] } else { &suite[..] };
+    let crash_counts: &[usize] = if smoke { &[2] } else { &CRASH_COUNTS };
+
+    let mut rows = Vec::new();
+    for (si, sc) in suite.iter().enumerate() {
+        let exec = sc.run(wb.catalog.clone());
+        let n_msgs = exec.messages.len() as u64;
+        let p_rate = exec.messages.len() as f64 / (exec.duration.max(1) as f64 / 1e6).max(1e-6);
+        let gcfg = GretelConfig::auto(wb.library.fp_max(), p_rate, 2.0);
+        let nodes: Vec<NodeId> = sc.deployment.nodes().iter().map(|n| n.id).collect();
+
+        // Oracle: the plain sequenced pipeline, no failures.
+        let base = ServiceConfig {
+            impairment: Some(CaptureImpairment::none()),
+            ..ServiceConfig::default()
+        };
+        let mut oracle = Analyzer::new(&wb.library, gcfg);
+        let (expected, _, _) = run_service_cfg(&mut oracle, &nodes, &exec.messages, &base);
+
+        for &crashes in crash_counts {
+            for corrupt in [false, true] {
+                if corrupt && crashes == 0 {
+                    continue; // corruption only matters when a restore happens
+                }
+                let chaos = AnalyzerChaos {
+                    kill_prob: 1.0, // every job kills its worker twice, then completes
+                    kill_attempts: 2,
+                    stall_prob: 0.0,
+                    corrupt_prob: if corrupt { 1.0 } else { 0.0 },
+                    seed: seed ^ (si as u64) << 8,
+                };
+                let cfg = RecoveryConfig {
+                    service: base.clone(),
+                    checkpoint_every: (n_msgs / 8).max(32),
+                    chaos,
+                    max_attempts: 5,
+                    crash_points: CrashSchedule::seeded(
+                        seed ^ 0xC4A5 ^ (si as u64),
+                        crashes,
+                        n_msgs,
+                    )
+                    .points,
+                    ..RecoveryConfig::default()
+                };
+                let mut analyzer = Analyzer::new(&wb.library, gcfg);
+                let (got, _, _, rec) =
+                    run_service_recoverable(&mut analyzer, &nodes, &exec.messages, &cfg)
+                        .expect("recovery run completes");
+                let (lost, duplicated) = diff(&expected, &got);
+                rows.push(Row {
+                    scenario: sc.name.to_string(),
+                    crashes_scheduled: crashes,
+                    corrupt_journal: corrupt,
+                    diagnoses: got.len(),
+                    lost,
+                    duplicated,
+                    identical: got == expected,
+                    worker_crashes: rec.worker_crashes,
+                    jobs_requeued: rec.jobs_requeued,
+                    restores: rec.restores,
+                    checkpoints_written: rec.checkpoints_written,
+                    checkpoints_corrupt: rec.checkpoints_corrupt,
+                    replayed_frames: rec.replayed_frames,
+                    duplicate_releases_suppressed: rec.duplicate_releases_suppressed,
+                });
+            }
+        }
+    }
+
+    let total_lost: usize = rows.iter().map(|r| r.lost).sum();
+    let total_duplicated: usize = rows.iter().map(|r| r.duplicated).sum();
+    let all_identical = rows.iter().all(|r| r.identical);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                format!("{}", r.crashes_scheduled),
+                format!("{}", r.corrupt_journal),
+                format!("{}", r.diagnoses),
+                format!("{}/{}", r.lost, r.duplicated),
+                format!("{}", r.worker_crashes),
+                format!("{}", r.restores),
+                format!("{}", r.replayed_frames),
+            ]
+        })
+        .collect();
+    results::print_table(
+        "Crash recovery: diagnoses lost/duplicated under supervision + checkpoint/replay",
+        &["scenario", "crashes", "corrupt", "diags", "lost/dup", "kills", "restores", "replayed"],
+        &table,
+    );
+    println!(
+        "total lost: {total_lost}  total duplicated: {total_duplicated}  all identical: {all_identical}"
+    );
+
+    results::write_json(
+        "recovery",
+        &Output {
+            seed,
+            kill_prob: 1.0,
+            kill_attempts: 2,
+            max_attempts: 5,
+            rows,
+            total_lost,
+            total_duplicated,
+            all_identical,
+        },
+    );
+
+    if smoke {
+        assert_eq!(total_lost, 0, "smoke: no diagnosis may be lost");
+        assert_eq!(total_duplicated, 0, "smoke: no diagnosis may be duplicated");
+        assert!(all_identical, "smoke: recovered output must be byte-identical");
+    }
+}

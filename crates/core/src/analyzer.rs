@@ -309,6 +309,174 @@ impl<'a> Analyzer<'a> {
         SnapshotAnalyzer { cfg: self.cfg, lib: self.lib, rca: self.rca }
     }
 
+    /// Serialize the analyzer's full ingest state — window, pairer, perf
+    /// monitor, error dedup set, pending perf faults, stats, auto-α
+    /// tracker, pending gap marker — for a checkpoint. `None` when the
+    /// perf monitor holds a detector without state export (the analyzer is
+    /// then not checkpointable; see
+    /// [`gretel_telemetry::OutlierDetector::export_state`]).
+    ///
+    /// Configuration (library, [`crate::GretelConfig`], RCA context) is
+    /// *not* serialized: restore targets an analyzer constructed the same
+    /// way, and only replaces its dynamic state.
+    pub fn export_state(&self) -> Option<Vec<u8>> {
+        use crate::checkpoint::codec::{put_f64, put_u16, put_u32, put_u64, put_u8};
+        let mut out = Vec::with_capacity(1024);
+        self.window.export_state(&mut out);
+        self.pairer.export_state(&mut out);
+        if !self.perf.export_state(&mut out) {
+            return None;
+        }
+        let mut errs: Vec<u64> = self.analyzed_errors.iter().map(|id| id.0).collect();
+        errs.sort_unstable();
+        put_u32(&mut out, errs.len() as u32);
+        for e in errs {
+            put_u64(&mut out, e);
+        }
+        put_u32(&mut out, self.pending_perf.len() as u32);
+        for (msg_id, pf) in &self.pending_perf {
+            put_u64(&mut out, msg_id.0);
+            put_u16(&mut out, pf.api.0);
+            put_u64(&mut out, pf.anomaly.ts);
+            put_f64(&mut out, pf.anomaly.value);
+            put_f64(&mut out, pf.anomaly.baseline);
+            put_u8(
+                &mut out,
+                matches!(pf.anomaly.kind, gretel_telemetry::AnomalyKind::LevelShiftDown) as u8,
+            );
+        }
+        for v in [
+            self.stats.messages,
+            self.stats.bytes,
+            self.stats.rest_errors,
+            self.stats.rpc_errors,
+            self.stats.snapshots,
+            self.stats.perf_faults,
+            self.stats.capture_gaps,
+            self.stats.lost_frames,
+        ] {
+            put_u64(&mut out, v);
+        }
+        match &self.auto_alpha {
+            Some(a) => {
+                put_u8(&mut out, 1);
+                put_f64(&mut out, a.t_secs);
+                put_u64(&mut out, a.interval_us);
+                put_u64(&mut out, a.window_start);
+                put_u64(&mut out, a.count);
+            }
+            None => {
+                put_u8(&mut out, 0);
+                put_f64(&mut out, 0.0);
+                put_u64(&mut out, 0);
+                put_u64(&mut out, 0);
+                put_u64(&mut out, 0);
+            }
+        }
+        put_u32(&mut out, self.pending_gap);
+        Some(out)
+    }
+
+    /// Replace this analyzer's dynamic state with
+    /// [`Analyzer::export_state`] bytes. The analyzer must be configured —
+    /// library, config, perf factory, RCA — the same way as the one that
+    /// exported; only the dynamic state transfers. All-or-nothing: on any
+    /// decode error the analyzer is left unchanged.
+    pub fn restore_state(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let mut r = crate::checkpoint::codec::Reader::new(bytes);
+        let window = SlidingWindow::import_state(&mut r)?;
+        let pairer = LatencyPairer::import_state(&mut r)?;
+        // Perf import mutates the monitor in place (it needs the factory),
+        // so decode everything else first and only commit at the end.
+        let perf_mark = r.clone();
+        Self::skip_perf_state(&mut r)?;
+        let n_errs = r.u32()? as usize;
+        let mut analyzed_errors = FastSet::default();
+        for _ in 0..n_errs {
+            analyzed_errors.insert(MessageId(r.u64()?));
+        }
+        let n_perf = r.u32()? as usize;
+        let mut pending_perf = Vec::with_capacity(n_perf);
+        for _ in 0..n_perf {
+            let msg_id = MessageId(r.u64()?);
+            let api = gretel_model::ApiId(r.u16()?);
+            let ts = r.u64()?;
+            let value = r.f64()?;
+            let baseline = r.f64()?;
+            let kind = match r.u8()? {
+                0 => gretel_telemetry::AnomalyKind::LevelShiftUp,
+                1 => gretel_telemetry::AnomalyKind::LevelShiftDown,
+                _ => return Err(CheckpointError::Invalid("anomaly kind")),
+            };
+            pending_perf.push((
+                msg_id,
+                PerfFault { api, anomaly: gretel_telemetry::Anomaly { ts, value, baseline, kind } },
+            ));
+        }
+        let stats = AnalyzerStats {
+            messages: r.u64()?,
+            bytes: r.u64()?,
+            rest_errors: r.u64()?,
+            rpc_errors: r.u64()?,
+            snapshots: r.u64()?,
+            perf_faults: r.u64()?,
+            capture_gaps: r.u64()?,
+            lost_frames: r.u64()?,
+        };
+        let auto_tag = r.u8()?;
+        let t_secs = r.f64()?;
+        let interval_us = r.u64()?;
+        let window_start = r.u64()?;
+        let count = r.u64()?;
+        let auto_alpha = match auto_tag {
+            0 => None,
+            1 => Some(AutoAlpha { t_secs, interval_us, window_start, count }),
+            _ => return Err(CheckpointError::Invalid("auto-alpha tag")),
+        };
+        let pending_gap = r.u32()?;
+        r.done()?;
+
+        // Everything decoded: commit, perf last (its import validates too).
+        let mut perf_reader = perf_mark;
+        self.perf.import_state(&mut perf_reader)?;
+        self.window = window;
+        self.pairer = pairer;
+        self.analyzed_errors = analyzed_errors;
+        self.pending_perf = pending_perf;
+        self.stats = stats;
+        self.auto_alpha = auto_alpha;
+        self.pending_gap = pending_gap;
+        Ok(())
+    }
+
+    /// Advance a reader past a perf-monitor state block without applying
+    /// it (the block is applied separately via [`PerfMonitor::import_state`]
+    /// once the rest of the analyzer state has validated).
+    fn skip_perf_state(
+        r: &mut crate::checkpoint::codec::Reader<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        r.u8()?; // keep_history
+        let n_det = r.u32()? as usize;
+        for _ in 0..n_det {
+            r.u16()?;
+            r.bytes()?;
+        }
+        let n_hist = r.u32()? as usize;
+        for _ in 0..n_hist {
+            r.u16()?;
+            let n = r.u32()? as usize;
+            for _ in 0..n {
+                r.u64()?;
+                r.f64()?;
+            }
+        }
+        Ok(())
+    }
+
     fn prepare_job(&mut self, snap: Snapshot) -> SnapshotJob {
         self.stats.snapshots += 1;
         // Performance faults folded into this snapshot.
@@ -361,9 +529,91 @@ impl<'a> SnapshotAnalyzer<'a> {
     /// Analyze one prepared snapshot job; pure aside from the borrowed
     /// read-only context, so calls from different threads commute.
     pub fn analyze(&self, job: &SnapshotJob) -> Vec<Diagnosis> {
-        if job.perf.is_empty() && job.errors.is_empty() {
-            return Vec::new(); // clean snapshot: nothing to detect
+        self.analyze_inner(job, None).expect("no deadline, no cancellation")
+    }
+
+    /// [`SnapshotAnalyzer::analyze`] under a per-job budget. A job whose
+    /// analysis exceeds `deadline` is cancelled: the second return value is
+    /// `true` and every fault in the job is surfaced as a
+    /// [`CaptureConfidence::Cancelled`] diagnosis (the fault is reported,
+    /// never silently swallowed — but no matching evidence backs it). The
+    /// deadline is checked between per-fault detection passes, so a
+    /// cancelled job stops within one pass of the budget instead of
+    /// wedging its worker.
+    pub fn analyze_bounded(
+        &self,
+        job: &SnapshotJob,
+        deadline: std::time::Duration,
+    ) -> (Vec<Diagnosis>, bool) {
+        match self.analyze_inner(job, Some(deadline)) {
+            Some(out) => (out, false),
+            None => (self.cancel(job), true),
         }
+    }
+
+    /// The cancellation surface: one [`CaptureConfidence::Cancelled`]
+    /// diagnosis per fault in the job, with no matching or RCA evidence.
+    /// Used when a job exceeds its deadline or exhausts its crash-retry
+    /// budget — the operator still learns the fault happened.
+    pub fn cancel(&self, job: &SnapshotJob) -> Vec<Diagnosis> {
+        let snap = &job.snap;
+        let mut out = Vec::new();
+        for (msg_id, pf) in &job.perf {
+            let Some(idx) = snap.events.iter().position(|e| e.id == *msg_id) else {
+                continue;
+            };
+            out.push(Diagnosis {
+                kind: FaultKind::Performance {
+                    observed_ms: pf.anomaly.value / 1000.0,
+                    baseline_ms: pf.anomaly.baseline / 1000.0,
+                },
+                api: pf.api,
+                ts: snap.events[idx].ts,
+                matched: Vec::new(),
+                theta: 0.0,
+                beta_used: 0,
+                candidates: 0,
+                root_causes: Vec::new(),
+                confidence: CaptureConfidence::Cancelled,
+            });
+        }
+        for &idx in &job.errors {
+            let ev = &snap.events[idx];
+            let kind = match ev.fault {
+                FaultMark::RestError(s) => FaultKind::Operational { status: Some(s), rpc: false },
+                FaultMark::RpcError => FaultKind::Operational { status: None, rpc: true },
+                FaultMark::None => unreachable!("jobs only claim error events"),
+            };
+            out.push(Diagnosis {
+                kind,
+                api: ev.api,
+                ts: ev.ts,
+                matched: Vec::new(),
+                theta: 0.0,
+                beta_used: 0,
+                candidates: 0,
+                root_causes: Vec::new(),
+                confidence: CaptureConfidence::Cancelled,
+            });
+        }
+        out
+    }
+
+    /// Shared body of [`SnapshotAnalyzer::analyze`] /
+    /// [`SnapshotAnalyzer::analyze_bounded`]; `None` = deadline exceeded.
+    fn analyze_inner(
+        &self,
+        job: &SnapshotJob,
+        deadline: Option<std::time::Duration>,
+    ) -> Option<Vec<Diagnosis>> {
+        if job.perf.is_empty() && job.errors.is_empty() {
+            return Some(Vec::new()); // clean snapshot: nothing to detect
+        }
+        let started = deadline.map(|_| std::time::Instant::now());
+        let over_budget = || match (started, deadline) {
+            (Some(t0), Some(d)) => t0.elapsed() > d,
+            _ => false,
+        };
         let detector = Detector::new(self.lib, self.cfg);
         let snap = &job.snap;
         // One shared O(α) pass; every detection below is sub-linear in the
@@ -378,6 +628,9 @@ impl<'a> SnapshotAnalyzer<'a> {
         let mut out = Vec::new();
 
         for (msg_id, pf) in &job.perf {
+            if over_budget() {
+                return None;
+            }
             let idx = snap.events.iter().position(|e| e.id == *msg_id);
             let Some(idx) = idx else {
                 continue; // anomaly's event already slid out; skip
@@ -391,6 +644,9 @@ impl<'a> SnapshotAnalyzer<'a> {
         }
 
         for &idx in &job.errors {
+            if over_budget() {
+                return None;
+            }
             let ev = &snap.events[idx];
             let outcome = detector.detect_operational_indexed(&snap.events, &sidx, idx, ev.api);
             let kind = match ev.fault {
@@ -400,7 +656,7 @@ impl<'a> SnapshotAnalyzer<'a> {
             };
             out.push(self.finalize(kind, ev.api, &snap.events, *ev, outcome, confidence));
         }
-        out
+        Some(out)
     }
 
     fn finalize(
@@ -725,5 +981,105 @@ mod tests {
         analyze_stream(&mut analyzer, exec.messages.iter());
         assert_eq!(analyzer.stats().messages as usize, exec.messages.len());
         assert_eq!(analyzer.stats().bytes as usize, exec.total_payload_bytes());
+    }
+
+    #[test]
+    fn checkpoint_mid_stream_resumes_identically() {
+        let (cat, dep, specs, lib) = setup();
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: ports_post,
+            scope: FaultScope::AllInstances,
+            occurrence: 0,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(cat, &dep, &plan, RunConfig { seed: 3, ..Default::default() })
+            .run(&refs);
+        let cfg = GretelConfig { alpha: 32, ..GretelConfig::default() };
+
+        // Uninterrupted reference run.
+        let mut reference = Analyzer::new(&lib, cfg);
+        let ref_diag = analyze_stream(&mut reference, exec.messages.iter());
+
+        // Checkpoint halfway, restore into a FRESH analyzer, replay the rest.
+        let split = exec.messages.len() / 2;
+        let mut first = Analyzer::new(&lib, cfg);
+        let mut live = Vec::new();
+        for m in &exec.messages[..split] {
+            live.extend(first.process(m));
+        }
+        let state = first.export_state().expect("default detector checkpoints");
+        let mut resumed = Analyzer::new(&lib, cfg);
+        resumed.restore_state(&state).expect("state restores");
+        for m in &exec.messages[split..] {
+            live.extend(resumed.process(m));
+        }
+        live.extend(resumed.finish());
+
+        assert_eq!(live.len(), ref_diag.len());
+        for (a, b) in live.iter().zip(&ref_diag) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.api, b.api);
+            assert_eq!(a.ts, b.ts);
+            assert_eq!(a.matched, b.matched);
+            assert_eq!(a.confidence, b.confidence);
+        }
+        assert_eq!(resumed.stats().messages, reference.stats().messages);
+        assert_eq!(resumed.stats().rest_errors, reference.stats().rest_errors);
+        assert_eq!(resumed.stats().snapshots, reference.stats().snapshots);
+    }
+
+    #[test]
+    fn restore_rejects_garbage_state() {
+        let (_, _, _, lib) = setup();
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 8, ..Default::default() });
+        assert!(analyzer.restore_state(&[0xFF; 16]).is_err());
+        assert!(analyzer.restore_state(&[]).is_err());
+        // A failed restore leaves the analyzer usable.
+        assert!(analyzer.finish().is_empty());
+    }
+
+    #[test]
+    fn bounded_analysis_cancels_past_deadline() {
+        let (cat, dep, specs, lib) = setup();
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let plan = FaultPlan::none().with_api_fault(ApiFault {
+            api: ports_post,
+            scope: FaultScope::AllInstances,
+            occurrence: 0,
+            error: InjectedError::RestStatus { status: 500, reason: None },
+            abort_op: true,
+        });
+        let refs: Vec<&OperationSpec> = specs.iter().collect();
+        let exec = Runner::new(cat, &dep, &plan, RunConfig { seed: 3, ..Default::default() })
+            .run(&refs);
+        let mut analyzer = Analyzer::new(&lib, GretelConfig { alpha: 32, ..Default::default() });
+        let mut jobs = Vec::new();
+        for m in &exec.messages {
+            jobs.extend(analyzer.ingest(m));
+        }
+        jobs.extend(analyzer.finish_jobs());
+        let job = jobs
+            .iter()
+            .find(|j| !j.snapshot().events.is_empty())
+            .expect("faulted run produces jobs");
+        let sa = analyzer.snapshot_analyzer();
+
+        // A generous deadline completes normally…
+        let (full, cancelled) = sa.analyze_bounded(job, std::time::Duration::from_secs(60));
+        assert!(!cancelled);
+        assert_eq!(full, sa.analyze(job));
+
+        // …a zero deadline cancels, but every fault still surfaces —
+        // honestly marked, never as Exact.
+        let (out, cancelled) = sa.analyze_bounded(job, std::time::Duration::ZERO);
+        assert!(cancelled);
+        assert!(!out.is_empty(), "cancelled job still reports its faults");
+        for d in &out {
+            assert_eq!(d.confidence, CaptureConfidence::Cancelled);
+            assert!(d.matched.is_empty() && d.root_causes.is_empty());
+        }
     }
 }

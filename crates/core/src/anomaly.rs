@@ -139,6 +139,60 @@ impl LatencyPairer {
         self.rest.retain(|_, &mut ts| ts >= cutoff);
         self.rpc.retain(|_, &mut (_, ts)| ts >= cutoff);
     }
+
+    /// Serialize all outstanding unpaired requests for a checkpoint.
+    /// Entries are written in sorted key order so the bytes are a pure
+    /// function of the pairer's logical state, not of hash iteration.
+    pub(crate) fn export_state(&self, out: &mut Vec<u8>) {
+        use crate::checkpoint::codec::{put_u16, put_u32, put_u64, put_u8};
+        let mut rest: Vec<(&(ConnKey, ApiId), &SimTime)> = self.rest.iter().collect();
+        rest.sort_by_key(|((c, a), _)| (c.src.0, c.src_port, c.dst.0, c.dst_port, a.0));
+        put_u32(out, rest.len() as u32);
+        for ((conn, api), &ts) in rest {
+            put_u8(out, conn.src.0);
+            put_u16(out, conn.src_port);
+            put_u8(out, conn.dst.0);
+            put_u16(out, conn.dst_port);
+            put_u16(out, api.0);
+            put_u64(out, ts);
+        }
+        let mut rpc: Vec<(&u64, &(ApiId, SimTime))> = self.rpc.iter().collect();
+        rpc.sort_by_key(|(&id, _)| id);
+        put_u32(out, rpc.len() as u32);
+        for (&msg_id, &(api, ts)) in rpc {
+            put_u64(out, msg_id);
+            put_u16(out, api.0);
+            put_u64(out, ts);
+        }
+    }
+
+    /// Rebuild a pairer from [`LatencyPairer::export_state`] bytes.
+    pub(crate) fn import_state(
+        r: &mut crate::checkpoint::codec::Reader<'_>,
+    ) -> Result<LatencyPairer, crate::checkpoint::CheckpointError> {
+        use gretel_model::NodeId;
+        let mut pairer = LatencyPairer::new();
+        let n_rest = r.u32()? as usize;
+        for _ in 0..n_rest {
+            let conn = ConnKey {
+                src: NodeId(r.u8()?),
+                src_port: r.u16()?,
+                dst: NodeId(r.u8()?),
+                dst_port: r.u16()?,
+            };
+            let api = ApiId(r.u16()?);
+            let ts = r.u64()?;
+            pairer.rest.insert((conn, api), ts);
+        }
+        let n_rpc = r.u32()? as usize;
+        for _ in 0..n_rpc {
+            let msg_id = r.u64()?;
+            let api = ApiId(r.u16()?);
+            let ts = r.u64()?;
+            pairer.rpc.insert(msg_id, (api, ts));
+        }
+        Ok(pairer)
+    }
 }
 
 #[cfg(test)]

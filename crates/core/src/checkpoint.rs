@@ -1,0 +1,478 @@
+//! Checkpointing primitives for the fault-tolerant analyzer service.
+//!
+//! The recoverable service ([`crate::recover`]) periodically serializes the
+//! analyzer's ingest state — sliding window, latency pairer, perf
+//! detectors, error dedup set — together with the receiver-side
+//! [`gretel_netcap::Resequencer`] positions into a [`Journal`]: an
+//! append-only log of length-prefixed, checksummed records. After a crash
+//! the service restores the newest *valid* record (corrupted records are
+//! detected by checksum and skipped, never half-applied) and the agents
+//! replay their streams from the beginning; the restored resequencers
+//! discard the already-delivered prefix as duplicates, so the diagnosis
+//! stream continues exactly where the checkpoint left it.
+//!
+//! Everything here is deliberately dependency-free hand-rolled little-endian
+//! encoding: the journal must be readable by a *different* build of the
+//! service than the one that wrote it, so the format is explicit rather
+//! than derived.
+
+use crate::event::{Event, FaultMark};
+use gretel_model::{ApiId, Direction, MessageId, NodeId};
+
+/// Why a checkpoint could not be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The record ended before a field was complete.
+    Truncated,
+    /// A field decoded to an impossible value (the message names it).
+    Invalid(&'static str),
+    /// A perf detector in the monitor does not implement state export, so
+    /// the analyzer cannot be checkpointed at all.
+    UnsupportedDetector,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint record truncated"),
+            CheckpointError::Invalid(what) => write!(f, "invalid checkpoint field: {what}"),
+            CheckpointError::UnsupportedDetector => {
+                write!(f, "a perf detector does not support state export")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Little-endian primitives shared by every state codec in the crate.
+pub(crate) mod codec {
+    use super::CheckpointError;
+
+    pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+        out.push(v);
+    }
+    pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bounds-checked sequential reader over a state buffer. `Clone` marks
+    /// a position so a block can be skipped now and decoded later.
+    #[derive(Clone)]
+    pub(crate) struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+            Reader { buf, pos: 0 }
+        }
+
+        fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+            if self.buf.len() - self.pos < n {
+                return Err(CheckpointError::Truncated);
+            }
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(s)
+        }
+
+        pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
+            Ok(self.take(1)?[0])
+        }
+        pub(crate) fn u16(&mut self) -> Result<u16, CheckpointError> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        }
+        pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        }
+        pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        }
+        pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
+            Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        }
+
+        /// A length-prefixed byte run (u32 length).
+        pub(crate) fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+            let n = self.u32()? as usize;
+            self.take(n)
+        }
+
+        /// Items remaining? Call at the end of a full decode to reject
+        /// trailing garbage.
+        pub(crate) fn done(&self) -> Result<(), CheckpointError> {
+            if self.pos == self.buf.len() {
+                Ok(())
+            } else {
+                Err(CheckpointError::Invalid("trailing bytes"))
+            }
+        }
+    }
+}
+
+use codec::{put_u16, put_u32, put_u64, put_u8, Reader};
+
+/// Encode one [`Event`] (fixed layout, 36 bytes).
+pub(crate) fn put_event(out: &mut Vec<u8>, ev: &Event) {
+    put_u64(out, ev.id.0);
+    put_u64(out, ev.ts);
+    put_u16(out, ev.api.0);
+    put_u8(out, matches!(ev.direction, Direction::Response) as u8);
+    let flags =
+        (ev.is_rpc as u8) | ((ev.state_change as u8) << 1) | ((ev.noise_api as u8) << 2);
+    put_u8(out, flags);
+    put_u8(out, ev.src_node.0);
+    put_u8(out, ev.dst_node.0);
+    match ev.corr {
+        Some(c) => {
+            put_u8(out, 1);
+            put_u64(out, c);
+        }
+        None => {
+            put_u8(out, 0);
+            put_u64(out, 0);
+        }
+    }
+    let (tag, status) = match ev.fault {
+        FaultMark::None => (0u8, 0u16),
+        FaultMark::RestError(s) => (1, s),
+        FaultMark::RpcError => (2, 0),
+    };
+    put_u8(out, tag);
+    put_u16(out, status);
+    put_u32(out, ev.gap_before);
+}
+
+/// Decode one [`Event`] written by [`put_event`].
+pub(crate) fn read_event(r: &mut Reader<'_>) -> Result<Event, CheckpointError> {
+    let id = MessageId(r.u64()?);
+    let ts = r.u64()?;
+    let api = ApiId(r.u16()?);
+    let direction = match r.u8()? {
+        0 => Direction::Request,
+        1 => Direction::Response,
+        _ => return Err(CheckpointError::Invalid("event direction")),
+    };
+    let flags = r.u8()?;
+    if flags > 0b111 {
+        return Err(CheckpointError::Invalid("event flags"));
+    }
+    let src_node = NodeId(r.u8()?);
+    let dst_node = NodeId(r.u8()?);
+    let corr_tag = r.u8()?;
+    let corr_val = r.u64()?;
+    let corr = match corr_tag {
+        0 => None,
+        1 => Some(corr_val),
+        _ => return Err(CheckpointError::Invalid("event correlation tag")),
+    };
+    let fault_tag = r.u8()?;
+    let status = r.u16()?;
+    let fault = match fault_tag {
+        0 => FaultMark::None,
+        1 => FaultMark::RestError(status),
+        2 => FaultMark::RpcError,
+        _ => return Err(CheckpointError::Invalid("event fault tag")),
+    };
+    Ok(Event {
+        id,
+        ts,
+        api,
+        direction,
+        is_rpc: flags & 1 != 0,
+        state_change: flags & 2 != 0,
+        noise_api: flags & 4 != 0,
+        src_node,
+        dst_node,
+        corr,
+        fault,
+        gap_before: r.u32()?,
+    })
+}
+
+/// FNV-1a 64-bit over a byte slice — the journal's record checksum. Not
+/// cryptographic; it detects the corruption the chaos injector (and real
+/// disks) produce: flipped or torn bytes inside a record.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-record header: u32 payload length, u64 FNV-1a checksum, u8 kind.
+const RECORD_HEADER: usize = 4 + 8 + 1;
+
+/// An append-only log of length-prefixed, checksummed records.
+///
+/// Records are `u32 len | u64 fnv1a(payload) | u8 kind | payload`. The
+/// length prefix keeps the scan aligned even when a payload is corrupted,
+/// so one bad record never takes down the records after it; the checksum
+/// makes corruption detectable, so restore uses the newest record that
+/// still verifies. A journal with no valid record restores nothing — the
+/// service cold-starts, which is safe (just slower) because agents replay
+/// their whole stream anyway.
+///
+/// ```
+/// use gretel_core::Journal;
+///
+/// let mut j = Journal::new();
+/// j.append(1, b"first");
+/// j.append(1, b"second");
+/// assert_eq!(j.latest_valid(1), Some(&b"second"[..]));
+///
+/// // Corrupt the newest record: restore falls back to the previous one.
+/// j.corrupt_record(1, 0);
+/// assert_eq!(j.latest_valid(1), Some(&b"first"[..]));
+/// assert_eq!(j.record_counts(), (1, 1));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Journal {
+    buf: Vec<u8>,
+}
+
+impl Journal {
+    /// An empty journal.
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    /// Rebuild from raw bytes (e.g. read back from disk). No validation
+    /// happens here; corrupt records surface during [`Journal::latest_valid`].
+    pub fn from_bytes(buf: Vec<u8>) -> Journal {
+        Journal { buf }
+    }
+
+    /// The raw journal bytes (what would be persisted).
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Append one record.
+    pub fn append(&mut self, kind: u8, payload: &[u8]) {
+        self.buf.reserve(RECORD_HEADER + payload.len());
+        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        self.buf.push(kind);
+        self.buf.extend_from_slice(payload);
+    }
+
+    /// Walk all structurally complete records, oldest first, yielding
+    /// `(kind, payload, checksum_ok)`.
+    fn scan(&self) -> ScanIter<'_> {
+        ScanIter { buf: &self.buf, pos: 0 }
+    }
+
+    /// The payload of the newest record of `kind` whose checksum verifies.
+    pub fn latest_valid(&self, kind: u8) -> Option<&[u8]> {
+        let mut best = None;
+        for (k, payload, ok) in self.scan() {
+            if ok && k == kind {
+                best = Some(payload);
+            }
+        }
+        best
+    }
+
+    /// `(valid, corrupt)` record counts across the whole journal.
+    pub fn record_counts(&self) -> (usize, usize) {
+        let mut valid = 0;
+        let mut corrupt = 0;
+        for (_, _, ok) in self.scan() {
+            if ok {
+                valid += 1;
+            } else {
+                corrupt += 1;
+            }
+        }
+        (valid, corrupt)
+    }
+
+    /// Number of structurally complete records (valid or not).
+    pub fn len(&self) -> usize {
+        self.scan().count()
+    }
+
+    /// Whether the journal holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Chaos hook: flip one payload byte of record `index` (0-based, oldest
+    /// first), leaving the length prefix intact so the scan stays aligned.
+    /// Returns `false` when the record does not exist or has an empty
+    /// payload. This is what [`crate::recover::AnalyzerChaos`] uses to model
+    /// torn checkpoint writes.
+    pub fn corrupt_record(&mut self, index: usize, byte: usize) -> bool {
+        let mut pos = 0usize;
+        let mut i = 0usize;
+        while self.buf.len() - pos >= RECORD_HEADER {
+            let len = u32::from_le_bytes(
+                self.buf[pos..pos + 4].try_into().expect("len prefix"),
+            ) as usize;
+            let start = pos + RECORD_HEADER;
+            let Some(end) = start.checked_add(len).filter(|&e| e <= self.buf.len()) else {
+                return false;
+            };
+            if i == index {
+                if len == 0 {
+                    return false;
+                }
+                self.buf[start + byte % len] ^= 0x40;
+                return true;
+            }
+            i += 1;
+            pos = end;
+        }
+        false
+    }
+}
+
+struct ScanIter<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for ScanIter<'a> {
+    type Item = (u8, &'a [u8], bool);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buf.len() - self.pos < RECORD_HEADER {
+            return None;
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4].try_into().expect("len prefix"),
+        ) as usize;
+        let sum = u64::from_le_bytes(
+            self.buf[self.pos + 4..self.pos + 12].try_into().expect("checksum"),
+        );
+        let kind = self.buf[self.pos + 12];
+        let start = self.pos + RECORD_HEADER;
+        let end = start.checked_add(len).filter(|&e| e <= self.buf.len())?;
+        let payload = &self.buf[start..end];
+        self.pos = end;
+        Some((kind, payload, fnv1a(payload) == sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_round_trips_records_in_order() {
+        let mut j = Journal::new();
+        j.append(1, b"alpha");
+        j.append(2, b"beta");
+        j.append(1, b"gamma");
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.record_counts(), (3, 0));
+        assert_eq!(j.latest_valid(1), Some(&b"gamma"[..]));
+        assert_eq!(j.latest_valid(2), Some(&b"beta"[..]));
+        assert_eq!(j.latest_valid(9), None);
+
+        // Survives a serialize/deserialize cycle.
+        let j2 = Journal::from_bytes(j.bytes().to_vec());
+        assert_eq!(j2.latest_valid(1), Some(&b"gamma"[..]));
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_not_fatal() {
+        let mut j = Journal::new();
+        j.append(1, b"good-old");
+        j.append(1, b"good-new");
+        assert!(j.corrupt_record(1, 3));
+        assert_eq!(j.record_counts(), (1, 1));
+        // Restore falls back to the older valid record; records *after* a
+        // corrupt one stay reachable thanks to the length prefix.
+        assert_eq!(j.latest_valid(1), Some(&b"good-old"[..]));
+        j.append(1, b"newest");
+        assert_eq!(j.latest_valid(1), Some(&b"newest"[..]));
+    }
+
+    #[test]
+    fn empty_and_truncated_journals_restore_nothing() {
+        assert!(Journal::new().is_empty());
+        assert_eq!(Journal::new().latest_valid(1), None);
+        let mut j = Journal::new();
+        j.append(1, b"payload");
+        // Chop off the tail: the truncated record is not yielded at all.
+        let cut = Journal::from_bytes(j.bytes()[..j.bytes().len() - 3].to_vec());
+        assert_eq!(cut.latest_valid(1), None);
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn event_codec_round_trips_every_variant() {
+        use gretel_model::Direction;
+        let mk = |fault, corr, dir| Event {
+            id: MessageId(77),
+            ts: 123_456,
+            api: ApiId(901),
+            direction: dir,
+            is_rpc: true,
+            state_change: false,
+            noise_api: true,
+            src_node: NodeId(3),
+            dst_node: NodeId(7),
+            corr,
+            fault,
+            gap_before: 9,
+        };
+        for ev in [
+            mk(FaultMark::None, None, Direction::Request),
+            mk(FaultMark::RestError(503), Some(42), Direction::Response),
+            mk(FaultMark::RpcError, None, Direction::Response),
+        ] {
+            let mut buf = Vec::new();
+            put_event(&mut buf, &ev);
+            let mut r = Reader::new(&buf);
+            let back = read_event(&mut r).unwrap();
+            r.done().unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn event_decode_rejects_bad_tags() {
+        let ev = Event {
+            id: MessageId(0),
+            ts: 0,
+            api: ApiId(0),
+            direction: Direction::Request,
+            is_rpc: false,
+            state_change: false,
+            noise_api: false,
+            src_node: NodeId(0),
+            dst_node: NodeId(0),
+            corr: None,
+            fault: FaultMark::None,
+            gap_before: 0,
+        };
+        let mut buf = Vec::new();
+        put_event(&mut buf, &ev);
+        // Direction byte out of range.
+        let mut bad = buf.clone();
+        bad[18] = 9;
+        assert!(read_event(&mut Reader::new(&bad)).is_err());
+        // Fault tag out of range.
+        let mut bad = buf.clone();
+        bad[31] = 9;
+        assert!(read_event(&mut Reader::new(&bad)).is_err());
+        // Truncated.
+        assert!(read_event(&mut Reader::new(&buf[..10])).is_err());
+    }
+}

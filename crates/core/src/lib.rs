@@ -21,6 +21,7 @@
 
 pub mod analyzer;
 pub mod anomaly;
+pub mod checkpoint;
 pub mod config;
 pub mod detect;
 pub mod event;
@@ -32,6 +33,7 @@ pub mod matcher;
 pub mod noise_filter;
 pub mod perf;
 pub mod rca;
+pub mod recover;
 pub mod report;
 pub mod service;
 pub mod window;
@@ -40,6 +42,7 @@ pub use analyzer::{
     analyze_stream, Analyzer, AnalyzerStats, RcaContext, SnapshotAnalyzer, SnapshotJob,
 };
 pub use anomaly::{scan_rest_error, scan_rpc_error, LatencyObs, LatencyPairer};
+pub use checkpoint::{CheckpointError, Journal};
 pub use config::{theta, GretelConfig};
 pub use detect::{DetectionOutcome, Detector, SnapshotIndex};
 pub use event::{Event, FaultMark};
@@ -52,9 +55,10 @@ pub use fingerprint::{
 pub use matcher::PositionIndex;
 pub use perf::{PerfFault, PerfMonitor};
 pub use rca::{CauseKind, RcaEngine, RootCause};
+pub use recover::{run_service_recoverable, AnalyzerChaos, RecoveryConfig, RecoveryStats};
 pub use report::{CaptureConfidence, Diagnosis, FaultKind};
 pub use service::{
-    run_service, run_service_cfg, run_service_sharded, BackpressurePolicy, ServiceConfig,
-    ServiceStats,
+    run_service, run_service_cfg, run_service_checked, run_service_sharded, BackpressurePolicy,
+    ServiceConfig, ServiceError, ServiceStats,
 };
 pub use window::{SlidingWindow, Snapshot};

@@ -71,6 +71,88 @@ impl PerfMonitor {
     pub fn tracked_apis(&self) -> usize {
         self.detectors.len()
     }
+
+    /// Serialize the monitor's state — per-API detector state and (when
+    /// kept) latency history — for an analyzer checkpoint. Returns `false`
+    /// (writing nothing) when any detector does not implement
+    /// [`OutlierDetector::export_state`]: a monitor with an opaque plug-in
+    /// detector cannot be checkpointed.
+    pub(crate) fn export_state(&self, out: &mut Vec<u8>) -> bool {
+        use crate::checkpoint::codec::{put_f64, put_u16, put_u32, put_u64, put_u8};
+        let mut dets: Vec<(&ApiId, &Box<dyn OutlierDetector + Send>)> =
+            self.detectors.iter().collect();
+        dets.sort_by_key(|(a, _)| a.0);
+        let mut body = Vec::new();
+        put_u8(&mut body, self.keep_history as u8);
+        put_u32(&mut body, dets.len() as u32);
+        for (api, det) in dets {
+            let Some(state) = det.export_state() else {
+                return false;
+            };
+            put_u16(&mut body, api.0);
+            put_u32(&mut body, state.len() as u32);
+            body.extend_from_slice(&state);
+        }
+        let mut hist: Vec<(&ApiId, &Vec<(u64, f64)>)> = self.history.iter().collect();
+        hist.sort_by_key(|(a, _)| a.0);
+        put_u32(&mut body, hist.len() as u32);
+        for (api, series) in hist {
+            put_u16(&mut body, api.0);
+            put_u32(&mut body, series.len() as u32);
+            for &(ts, v) in series {
+                put_u64(&mut body, ts);
+                put_f64(&mut body, v);
+            }
+        }
+        out.extend_from_slice(&body);
+        true
+    }
+
+    /// Replace this monitor's state with [`PerfMonitor::export_state`]
+    /// bytes. Detectors are re-created through the monitor's own factory
+    /// and fed the serialized state, so the restoring monitor must be
+    /// configured with the same factory as the one checkpointed.
+    pub(crate) fn import_state(
+        &mut self,
+        r: &mut crate::checkpoint::codec::Reader<'_>,
+    ) -> Result<(), crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let keep_history = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CheckpointError::Invalid("perf keep_history flag")),
+        };
+        if keep_history != self.keep_history {
+            return Err(CheckpointError::Invalid("perf keep_history mismatch"));
+        }
+        let n_det = r.u32()? as usize;
+        let mut detectors = FastMap::default();
+        for _ in 0..n_det {
+            let api = ApiId(r.u16()?);
+            let state = r.bytes()?;
+            let mut det = (self.factory)();
+            if !det.import_state(state) {
+                return Err(CheckpointError::Invalid("perf detector state rejected"));
+            }
+            detectors.insert(api, det);
+        }
+        let n_hist = r.u32()? as usize;
+        let mut history: FastMap<ApiId, Vec<(u64, f64)>> = FastMap::default();
+        for _ in 0..n_hist {
+            let api = ApiId(r.u16()?);
+            let n = r.u32()? as usize;
+            let mut series = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ts = r.u64()?;
+                let v = r.f64()?;
+                series.push((ts, v));
+            }
+            history.insert(api, series);
+        }
+        self.detectors = detectors;
+        self.history = history;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

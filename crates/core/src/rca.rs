@@ -31,6 +31,16 @@ pub enum CauseKind {
     Resource(ResourceKind),
     /// Failed software dependency.
     Dependency(Dependency),
+    /// No cause found, but the telemetry needed to rule one out was stale:
+    /// series on this node stopped reporting before the fault window.
+    /// "Nothing anomalous" would be asserted from missing data, so the
+    /// verdict is downgraded to "telemetry missing" instead.
+    StaleTelemetry {
+        /// Resource series that went silent before the window.
+        stale_resources: Vec<ResourceKind>,
+        /// Dependency watchers that went silent before the window.
+        stale_watchers: Vec<Dependency>,
+    },
 }
 
 /// Root cause analysis engine.
@@ -68,8 +78,47 @@ impl<'a> RcaEngine<'a> {
             let mut remaining = self.operation_nodes(matched_ops);
             remaining.retain(|n| !error_nodes.contains(n));
             causes = self.find_root_cause(&remaining, from, until);
+            if causes.is_empty() {
+                // Nothing anomalous anywhere — but only trust that verdict
+                // where the telemetry actually covered the window. Nodes
+                // whose series went silent before the window are reported
+                // as stale rather than silently counted healthy.
+                let mut all = error_nodes.clone();
+                all.extend(remaining);
+                causes = self.staleness_report(&all, from, until);
+            }
         }
         causes
+    }
+
+    /// [`CauseKind::StaleTelemetry`] entries for every listed node whose
+    /// telemetry went silent before `[from, until)`. Empty when coverage
+    /// was complete — i.e. when "no anomaly" is actually supported by data.
+    pub fn staleness_report(
+        &self,
+        nodes: &[NodeId],
+        from: SimTime,
+        until: SimTime,
+    ) -> Vec<RootCause> {
+        let mut out = Vec::new();
+        for &node in nodes {
+            let stale_resources = self.telemetry.resource_staleness(node, from, until);
+            let stale_watchers = self.telemetry.watcher_staleness(node, from, until);
+            if stale_resources.is_empty() && stale_watchers.is_empty() {
+                continue;
+            }
+            let why = format!(
+                "telemetry on {node} stale over the fault window: {} resource series, {} watcher(s) silent — cannot rule out a root cause here",
+                stale_resources.len(),
+                stale_watchers.len()
+            );
+            out.push(RootCause {
+                node,
+                cause: CauseKind::StaleTelemetry { stale_resources, stale_watchers },
+                why,
+            });
+        }
+        out
     }
 
     /// Algorithm 3 (`FIND_ROOT_CAUSE`): anomalies in resource metadata,
@@ -191,6 +240,30 @@ mod tests {
         let dep = Deployment::standard();
         let t = telemetry_with(baseline_cpu(NodeId(1), 60), vec![]);
         let engine = RcaEngine::new(&dep, &t);
+        assert!(engine.analyze(&[], &[NodeId(1)], secs(10), secs(50)).is_empty());
+    }
+
+    #[test]
+    fn stale_telemetry_downgrades_no_cause_verdict() {
+        let dep = Deployment::standard();
+        // Node 1 reported CPU up to t=20s and then went silent; the fault
+        // window starts at t=40s. Nothing anomalous is *observable*, but
+        // claiming "no root cause" would rest on missing data.
+        let t = telemetry_with(baseline_cpu(NodeId(1), 20), vec![]);
+        let engine = RcaEngine::new(&dep, &t);
+        let causes = engine.analyze(&[], &[NodeId(1)], secs(40), secs(50));
+        assert_eq!(causes.len(), 1);
+        assert_eq!(causes[0].node, NodeId(1));
+        match &causes[0].cause {
+            CauseKind::StaleTelemetry { stale_resources, stale_watchers } => {
+                assert_eq!(stale_resources, &vec![ResourceKind::CpuPercent]);
+                assert!(stale_watchers.is_empty());
+            }
+            other => panic!("expected StaleTelemetry, got {other:?}"),
+        }
+        // With live coverage of the window the verdict stays a clean empty.
+        let fresh = telemetry_with(baseline_cpu(NodeId(1), 60), vec![]);
+        let engine = RcaEngine::new(&dep, &fresh);
         assert!(engine.analyze(&[], &[NodeId(1)], secs(10), secs(50)).is_empty());
     }
 

@@ -1,0 +1,770 @@
+//! The fault-tolerant analyzer service: supervision, checkpoint/replay
+//! recovery, and honest degradation under analysis overload.
+//!
+//! [`run_service_cfg`](crate::service::run_service_cfg) assumes its worker
+//! pool never fails. This module drops that assumption and rebuilds the
+//! pipeline around three mechanisms:
+//!
+//! * **Supervision** — each [`SnapshotAnalyzer`] worker runs jobs inside a
+//!   panic boundary. A crashed worker reports its in-flight job and dies;
+//!   the supervisor (the receiver thread) restarts it after a capped
+//!   exponential backoff and requeues the job. A job that keeps crashing
+//!   past [`RecoveryConfig::max_attempts`] is abandoned *visibly*: every
+//!   fault it covered surfaces as a
+//!   [`CaptureConfidence::Cancelled`](crate::CaptureConfidence::Cancelled)
+//!   diagnosis.
+//! * **Checkpoint/replay** — every [`RecoveryConfig::checkpoint_every`]
+//!   merged messages the service quiesces the pool and appends the full
+//!   ingest state (analyzer window, pairer, perf detectors, per-agent
+//!   resequencer positions and ready queues, next job sequence number) to
+//!   a checksummed [`Journal`]. After a crash the service restores the
+//!   latest valid record and the agents re-ship their deterministic
+//!   streams; the restored resequencers discard the already-consumed
+//!   prefix as duplicates, so replay resumes exactly where the checkpoint
+//!   left off. Diagnoses are *output-committed*: released only when the
+//!   checkpoint that makes them unrepeatable is on the journal, so a crash
+//!   can neither lose nor duplicate a diagnosis.
+//! * **Deadlines** — snapshot analysis runs under a per-job budget
+//!   ([`SnapshotAnalyzer::analyze_bounded`]); a stalled job is cancelled
+//!   and reported, never allowed to wedge its worker.
+//!
+//! [`AnalyzerChaos`] is the analysis-plane twin of
+//! [`CaptureImpairment`]: a seeded injector that kills workers, stalls
+//! jobs, and corrupts checkpoint records, each decision a pure function of
+//! `(seed, job, attempt)` so every run is reproducible.
+
+use crate::analyzer::{Analyzer, AnalyzerStats, SnapshotAnalyzer, SnapshotJob};
+use crate::checkpoint::{codec, Journal};
+use crate::report::Diagnosis;
+use crate::service::{ship_frames, BackpressurePolicy, ServiceConfig, ServiceError, ServiceStats};
+use bytes::Bytes;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use gretel_model::{Message, NodeId};
+use gretel_netcap::{
+    decode_one, decode_one_seq, encode, CaptureAgent, CaptureImpairment, CaptureStats, Resequencer,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Duration;
+
+/// Seeded fault injection for the *analysis* plane — the counterpart of
+/// the capture-plane [`CaptureImpairment`]. Every decision is a pure
+/// function of the seed and the job's identity, so runs are reproducible
+/// regardless of thread scheduling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyzerChaos {
+    /// Probability that a worker is killed (panics) when it picks up a
+    /// job, per `(job, attempt)` — only while `attempt <
+    /// kill_attempts`, so a job survives its retry budget and the run
+    /// still produces its full output.
+    pub kill_prob: f64,
+    /// Number of leading attempts the kill coin may fire on. With the
+    /// default 2, a job can crash its worker at attempts 0 and 1 and then
+    /// completes normally at attempt 2.
+    pub kill_attempts: u32,
+    /// Probability that a job stalls past its deadline and is cancelled.
+    pub stall_prob: f64,
+    /// Probability that a checkpoint record is corrupted on the journal
+    /// (flipping one payload byte), forcing restore to fall back to an
+    /// older record.
+    pub corrupt_prob: f64,
+    /// Seed for all coins.
+    pub seed: u64,
+}
+
+const SALT_KILL: u64 = 21;
+const SALT_STALL: u64 = 22;
+const SALT_CORRUPT: u64 = 23;
+const SALT_CORRUPT_BYTE: u64 = 24;
+
+/// Splitmix64 finalizer over `(seed, a, b, salt)` — the same coin family
+/// the capture-plane injector uses, so chaos decisions are pure functions
+/// of their inputs.
+fn mix64(seed: u64, a: u64, b: u64, salt: u64) -> u64 {
+    let mut x = seed
+        ^ (a + 1).wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ (b + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (salt + 1).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+fn coin(seed: u64, a: u64, b: u64, salt: u64) -> f64 {
+    (mix64(seed, a, b, salt) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl AnalyzerChaos {
+    /// No chaos at all.
+    pub fn none() -> AnalyzerChaos {
+        AnalyzerChaos { kill_prob: 0.0, kill_attempts: 2, stall_prob: 0.0, corrupt_prob: 0.0, seed: 0 }
+    }
+
+    /// Whether this injector can never fire.
+    pub fn is_noop(&self) -> bool {
+        self.kill_prob <= 0.0 && self.stall_prob <= 0.0 && self.corrupt_prob <= 0.0
+    }
+
+    fn kill(&self, seq: u64, attempt: u32) -> bool {
+        attempt < self.kill_attempts
+            && coin(self.seed, seq, attempt as u64, SALT_KILL) < self.kill_prob
+    }
+
+    fn stall(&self, seq: u64, attempt: u32) -> bool {
+        coin(self.seed, seq, attempt as u64, SALT_STALL) < self.stall_prob
+    }
+
+    fn corrupt(&self, ckpt_index: u64) -> Option<usize> {
+        (coin(self.seed, ckpt_index, 0, SALT_CORRUPT) < self.corrupt_prob)
+            .then(|| mix64(self.seed, ckpt_index, 1, SALT_CORRUPT_BYTE) as usize)
+    }
+}
+
+impl Default for AnalyzerChaos {
+    fn default() -> AnalyzerChaos {
+        AnalyzerChaos::none()
+    }
+}
+
+/// Configuration for [`run_service_recoverable`].
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// The underlying pipeline shape. `backpressure` must be
+    /// [`BackpressurePolicy::Block`] (lossy eviction is nondeterministic
+    /// across restarts, so replay could not reproduce the pre-crash
+    /// stream); frames are always sequence-stamped, adding
+    /// [`CaptureImpairment::none`] when no impairment is configured.
+    pub service: ServiceConfig,
+    /// Checkpoint the full ingest state every this many merged messages.
+    pub checkpoint_every: u64,
+    /// Per-job analysis budget; a job exceeding it is cancelled.
+    pub deadline: Duration,
+    /// Seeded analysis-plane fault injection.
+    pub chaos: AnalyzerChaos,
+    /// Give up on a job after this many attempts; the abandoned job's
+    /// faults surface as `Cancelled` diagnoses. Must exceed
+    /// [`AnalyzerChaos::kill_attempts`] for the chaos oracle (identical
+    /// output) to hold.
+    pub max_attempts: u32,
+    /// Scheduled service crashes: the n-th cycle crashes after merging
+    /// this many messages (one point consumed per cycle, in order). The
+    /// service then restores from the journal and replays. An exhausted
+    /// or oversized list simply lets the run complete.
+    pub crash_points: Vec<u64>,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            service: ServiceConfig::default(),
+            checkpoint_every: 256,
+            deadline: Duration::from_secs(5),
+            chaos: AnalyzerChaos::none(),
+            max_attempts: 5,
+            crash_points: Vec::new(),
+        }
+    }
+}
+
+/// What the supervision and recovery machinery did during one
+/// [`run_service_recoverable`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Workers killed (by chaos or a real panic) and restarted.
+    pub worker_crashes: u64,
+    /// In-flight jobs requeued after their worker crashed.
+    pub jobs_requeued: u64,
+    /// Jobs cancelled — deadline exceeded or retry budget exhausted —
+    /// and surfaced as `Cancelled` diagnoses.
+    pub jobs_cancelled: u64,
+    /// Checkpoint records appended to the journal.
+    pub checkpoints_written: u64,
+    /// Checkpoint records corrupted by chaos (restore skips them).
+    pub checkpoints_corrupt: u64,
+    /// State restorations after a crash (cold restarts included).
+    pub restores: u64,
+    /// Replayed frames discarded by restored resequencers as
+    /// already-consumed duplicates.
+    pub replayed_frames: u64,
+    /// Diagnoses regenerated during replay that had already been released
+    /// (possible only when a corrupt checkpoint forces an older restore
+    /// point); suppressed so the output holds each diagnosis exactly once.
+    pub duplicate_releases_suppressed: u64,
+}
+
+/// Checkpoint record kind on the journal.
+const KIND_CHECKPOINT: u8 = 1;
+
+/// One agent's receiver-side stream state (always sequenced here).
+struct RecvStream {
+    reseq: Resequencer,
+    ready: VecDeque<(u32, Message)>,
+    done: bool,
+}
+
+impl RecvStream {
+    fn refill(&mut self, rx: &Receiver<Bytes>, stats: &mut ServiceStats) -> Result<(), ServiceError> {
+        while self.ready.is_empty() && !self.done {
+            match rx.recv() {
+                Ok(frame) => {
+                    stats.frames += 1;
+                    stats.bytes += frame.len() as u64;
+                    let (msg, seq) = decode_one_seq(&frame)?;
+                    self.ready.extend(self.reseq.push(seq, msg));
+                }
+                Err(_) => {
+                    self.done = true;
+                    self.ready.extend(self.reseq.flush());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serialize the receiver+analyzer state into one checkpoint payload.
+fn encode_checkpoint(analyzer_state: &[u8], next_seq: u64, streams: &[RecvStream]) -> Vec<u8> {
+    use codec::{put_u32, put_u64};
+    let mut out = Vec::new();
+    put_u32(&mut out, analyzer_state.len() as u32);
+    out.extend_from_slice(analyzer_state);
+    put_u64(&mut out, next_seq);
+    put_u32(&mut out, streams.len() as u32);
+    for st in streams {
+        let rs = st.reseq.export_state();
+        put_u32(&mut out, rs.len() as u32);
+        out.extend_from_slice(&rs);
+        // Messages released by the resequencer but not yet merged: they
+        // will come back from replay only as discarded duplicates, so they
+        // MUST travel with the checkpoint.
+        put_u32(&mut out, st.ready.len() as u32);
+        for (gap, msg) in &st.ready {
+            put_u32(&mut out, *gap);
+            let frame = encode(msg);
+            put_u32(&mut out, frame.len() as u32);
+            out.extend_from_slice(&frame);
+        }
+    }
+    out
+}
+
+/// Decoded checkpoint: analyzer state bytes, next job sequence number, and
+/// per-agent receiver stream state. `done` is recomputed, not stored —
+/// replay closes every stream again.
+fn decode_checkpoint(
+    payload: &[u8],
+    n_agents: usize,
+) -> Result<(Vec<u8>, u64, Vec<RecvStream>), ServiceError> {
+    use crate::checkpoint::CheckpointError;
+    let mut r = codec::Reader::new(payload);
+    let analyzer_state = r.bytes()?.to_vec();
+    let next_seq = r.u64()?;
+    let n = r.u32()? as usize;
+    if n != n_agents {
+        return Err(CheckpointError::Invalid("checkpoint agent count").into());
+    }
+    let mut streams = Vec::with_capacity(n);
+    for _ in 0..n {
+        let reseq = Resequencer::restore_state(r.bytes()?)?;
+        let n_ready = r.u32()? as usize;
+        let mut ready = VecDeque::with_capacity(n_ready);
+        for _ in 0..n_ready {
+            let gap = r.u32()?;
+            let msg = decode_one(r.bytes()?)?;
+            ready.push_back((gap, msg));
+        }
+        streams.push(RecvStream { reseq, ready, done: false });
+    }
+    r.done()?;
+    Ok((analyzer_state, next_seq, streams))
+}
+
+type JobMsg = (u64, u32, SnapshotJob);
+type ResMsg = (u64, Vec<Diagnosis>, bool);
+
+/// Marker panic payload for a chaos-killed worker; raised with
+/// `resume_unwind` so the panic hook (and its stderr backtrace) is
+/// skipped — the supervisor handles the crash, nobody needs the noise.
+struct ChaosKill;
+
+/// The worker pool plus its supervisor state. The receiver thread owns
+/// this and *is* the supervisor: it pumps crash reports between merge
+/// steps, restarts dead workers with capped exponential backoff, and
+/// requeues their in-flight jobs.
+struct Pool<'sc, 'env> {
+    scope: &'sc std::thread::Scope<'sc, 'env>,
+    job_tx: Sender<JobMsg>,
+    /// Held only to hand clones to respawned workers (never received
+    /// from), so the job channel cannot disconnect while jobs are queued.
+    job_rx: Receiver<JobMsg>,
+    res_tx: Sender<ResMsg>,
+    res_rx: Receiver<ResMsg>,
+    crash_tx: Sender<JobMsg>,
+    crash_rx: Receiver<JobMsg>,
+    sa: SnapshotAnalyzer<'env>,
+    chaos: AnalyzerChaos,
+    deadline: Duration,
+    max_attempts: u32,
+    /// Jobs submitted but not yet resolved into `pending`.
+    outstanding: usize,
+    /// Resolved results by job sequence number: `(diagnoses, cancelled)`.
+    pending: BTreeMap<u64, (Vec<Diagnosis>, bool)>,
+    worker_crashes: u64,
+    jobs_requeued: u64,
+}
+
+impl<'sc, 'env> Pool<'sc, 'env> {
+    fn spawn_worker(&self) {
+        let job_rx = self.job_rx.clone();
+        let res_tx = self.res_tx.clone();
+        let crash_tx = self.crash_tx.clone();
+        let sa = self.sa;
+        let chaos = self.chaos;
+        let deadline = self.deadline;
+        self.scope.spawn(move || {
+            while let Ok((seq, attempt, job)) = job_rx.recv() {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if chaos.kill(seq, attempt) {
+                        std::panic::resume_unwind(Box::new(ChaosKill));
+                    }
+                    // A stalled job is modeled as one whose budget is
+                    // already gone: analyze_bounded cancels it.
+                    let dl = if chaos.stall(seq, attempt) { Duration::ZERO } else { deadline };
+                    sa.analyze_bounded(&job, dl)
+                }));
+                match outcome {
+                    Ok((ds, cancelled)) => {
+                        if res_tx.send((seq, ds, cancelled)).is_err() {
+                            return; // collector gone (teardown)
+                        }
+                    }
+                    Err(_) => {
+                        // The worker is now considered crashed: report the
+                        // in-flight job and die. The supervisor restarts us.
+                        let _ = crash_tx.send((seq, attempt, job));
+                        return;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Handle one crash report: restart the worker (after backoff) and
+    /// requeue or abandon the job.
+    fn handle_crash(&mut self, (seq, attempt, job): JobMsg) -> Result<(), ServiceError> {
+        self.worker_crashes += 1;
+        // Capped exponential backoff before the replacement worker comes
+        // up: 100µs · 2^attempt, at most 10ms — enough to not hot-loop on
+        // a deterministic crasher, short enough for tests.
+        let backoff = Duration::from_micros(100 << attempt.min(7)).min(Duration::from_millis(10));
+        std::thread::sleep(backoff);
+        self.spawn_worker();
+        if attempt + 1 < self.max_attempts {
+            self.jobs_requeued += 1;
+            self.submit_raw(seq, attempt + 1, job)
+        } else {
+            // Retry budget exhausted: abandon visibly. The supervisor
+            // produces the cancellation surface itself — no worker needed.
+            self.pending.insert(seq, (self.sa.cancel(&job), true));
+            self.outstanding -= 1;
+            Ok(())
+        }
+    }
+
+    /// Drain whatever results and crash reports are immediately available.
+    fn pump(&mut self) -> Result<(), ServiceError> {
+        loop {
+            if let Ok(crash) = self.crash_rx.try_recv() {
+                self.handle_crash(crash)?;
+                continue;
+            }
+            match self.res_rx.try_recv() {
+                Ok((seq, ds, cancelled)) => {
+                    self.pending.insert(seq, (ds, cancelled));
+                    self.outstanding -= 1;
+                }
+                Err(_) => return Ok(()),
+            }
+        }
+    }
+
+    fn submit_raw(&mut self, seq: u64, attempt: u32, job: SnapshotJob) -> Result<(), ServiceError> {
+        let mut job = Some((seq, attempt, job));
+        while let Some(j) = job.take() {
+            match self.job_tx.try_send(j) {
+                Ok(()) => return Ok(()),
+                Err(crossbeam_channel::TrySendError::Full(j)) => {
+                    job = Some(j);
+                    // Make room: resolve results / crashes while the pool
+                    // catches up.
+                    self.pump()?;
+                    std::thread::yield_now();
+                }
+                Err(crossbeam_channel::TrySendError::Disconnected(_)) => {
+                    return Err(ServiceError::PoolDisconnected);
+                }
+            }
+        }
+        unreachable!("loop exits via return")
+    }
+
+    /// Submit a fresh job (attempt 0).
+    fn submit(&mut self, seq: u64, job: SnapshotJob) -> Result<(), ServiceError> {
+        self.outstanding += 1;
+        self.submit_raw(seq, 0, job)
+    }
+
+    /// Block until every submitted job has resolved into `pending`.
+    fn quiesce(&mut self) -> Result<(), ServiceError> {
+        while self.outstanding > 0 {
+            if let Ok(crash) = self.crash_rx.try_recv() {
+                self.handle_crash(crash)?;
+                continue;
+            }
+            match self.res_rx.try_recv() {
+                Ok((seq, ds, cancelled)) => {
+                    self.pending.insert(seq, (ds, cancelled));
+                    self.outstanding -= 1;
+                }
+                // Nothing ready: nap briefly, then re-check crash reports
+                // (workers are either computing or a report is in flight).
+                Err(_) => std::thread::sleep(Duration::from_micros(50)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How one service cycle ended.
+enum CycleEnd {
+    /// Stream fully merged, all jobs resolved and committed.
+    Completed,
+    /// A scheduled crash point fired; uncommitted state was discarded.
+    Crashed,
+}
+
+/// [`run_service_cfg`](crate::service::run_service_cfg) hardened against
+/// analysis-plane failure: supervised workers, periodic checkpoints to an
+/// in-memory [`Journal`], deterministic replay after scheduled crashes,
+/// and per-job deadlines. Returns the committed diagnoses (exactly-once:
+/// replay can neither lose nor duplicate one) plus transport, analyzer,
+/// and recovery statistics.
+///
+/// With no chaos and no crash points the output is byte-identical to
+/// [`run_service_cfg`](crate::service::run_service_cfg); with worker-kill
+/// chaos and crashes it *stays* identical — that is the oracle the
+/// recovery experiment checks. Note that [`ServiceStats::frames`] counts
+/// every shipped frame including replays (replayed frames also show up in
+/// [`RecoveryStats::replayed_frames`] and the capture stats'
+/// `dup_discarded`), so transport stats inflate with each crash while the
+/// diagnosis stream and [`AnalyzerStats`] do not.
+pub fn run_service_recoverable(
+    analyzer: &mut Analyzer<'_>,
+    nodes: &[NodeId],
+    traffic: &[Message],
+    cfg: &RecoveryConfig,
+) -> Result<(Vec<Diagnosis>, ServiceStats, AnalyzerStats, RecoveryStats), ServiceError> {
+    assert!(cfg.service.channel_capacity > 0);
+    assert!(cfg.checkpoint_every > 0);
+    assert!(cfg.max_attempts > 0);
+    if cfg.service.backpressure == BackpressurePolicy::DropOldest {
+        return Err(ServiceError::UnsupportedBackpressure);
+    }
+    // Replay needs sequence numbers to dedup the re-shipped prefix.
+    let mut service_cfg = cfg.service.clone();
+    if service_cfg.impairment.is_none() {
+        service_cfg.impairment = Some(CaptureImpairment::none());
+    }
+    let initial_state = analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
+
+    let mut journal = Journal::new();
+    let mut stats = RecoveryStats::default();
+    let mut service_stats = ServiceStats::default();
+    // Committed (released) diagnoses by job sequence number.
+    let mut committed: BTreeMap<u64, Vec<Diagnosis>> = BTreeMap::new();
+    // Job seqs below this have been released; replay must not re-release.
+    let mut released_watermark = 0u64;
+    let mut crash_points: VecDeque<u64> = cfg.crash_points.iter().copied().collect();
+    let mut ckpt_index = 0u64;
+    let mut first_cycle = true;
+
+    loop {
+        // ---- Restore ----------------------------------------------------
+        let (next_seq_start, mut streams) = match journal.latest_valid(KIND_CHECKPOINT) {
+            Some(payload) => {
+                let (astate, next_seq, streams) = decode_checkpoint(payload, nodes.len())?;
+                analyzer.restore_state(&astate)?;
+                (next_seq, streams)
+            }
+            None => {
+                analyzer.restore_state(&initial_state)?;
+                let streams = nodes
+                    .iter()
+                    .map(|_| RecvStream {
+                        reseq: Resequencer::new(service_cfg.resequence_depth),
+                        ready: VecDeque::new(),
+                        done: false,
+                    })
+                    .collect();
+                (0, streams)
+            }
+        };
+        if !first_cycle {
+            stats.restores += 1;
+        }
+        first_cycle = false;
+        let replay_base: u64 = streams.iter().map(|s| s.reseq.stats().dup_discarded).sum();
+        let crash_point = crash_points.pop_front();
+
+        // ---- One cycle --------------------------------------------------
+        let workers = service_cfg.effective_workers();
+        let snapshot_analyzer = analyzer.snapshot_analyzer();
+        let (job_tx, job_rx) = bounded::<JobMsg>(service_cfg.channel_capacity);
+        let (res_tx, res_rx) = unbounded::<ResMsg>();
+        let (crash_tx, crash_rx) = unbounded::<JobMsg>();
+        let (stat_tx, stat_rx) = unbounded::<CaptureStats>();
+
+        let end = std::thread::scope(|scope| -> Result<CycleEnd, ServiceError> {
+            let mut pool = Pool {
+                scope,
+                job_tx,
+                job_rx,
+                res_tx,
+                res_rx,
+                crash_tx,
+                crash_rx,
+                sa: snapshot_analyzer,
+                chaos: cfg.chaos,
+                deadline: cfg.deadline,
+                max_attempts: cfg.max_attempts,
+                outstanding: 0,
+                pending: BTreeMap::new(),
+                worker_crashes: 0,
+                jobs_requeued: 0,
+            };
+            for _ in 0..workers {
+                pool.spawn_worker();
+            }
+
+            // Agents re-ship the whole deterministic stream every cycle;
+            // the restored resequencers turn the consumed prefix into
+            // discarded duplicates.
+            let mut rxs: Vec<Receiver<Bytes>> = Vec::with_capacity(nodes.len());
+            for &node in nodes {
+                let (tx, rx) = bounded::<Bytes>(service_cfg.channel_capacity);
+                rxs.push(rx);
+                let agent = CaptureAgent::new(node);
+                let stat_tx = stat_tx.clone();
+                let impairment = service_cfg.impairment;
+                scope.spawn(move || {
+                    let mut capture = CaptureStats::default();
+                    let mut drops = 0u64;
+                    let frames = agent.capture_seq(traffic.iter(), 0);
+                    let frames = match impairment {
+                        Some(imp) => imp.apply(node, frames, &mut capture),
+                        None => unreachable!("recoverable runs are always sequenced"),
+                    };
+                    ship_frames(frames, &tx, None, BackpressurePolicy::Block, &mut drops);
+                    let _ = stat_tx.send(capture);
+                });
+            }
+            drop(stat_tx);
+
+            // A closure cannot borrow `pool` and the commit state
+            // mutably at once, so commits are inline: release every
+            // pending result below `up_to`, suppressing already-released
+            // duplicates.
+            let mut commit =
+                |pool: &mut Pool<'_, '_>, up_to: u64, stats: &mut RecoveryStats| {
+                    while let Some((&seq, _)) = pool.pending.first_key_value() {
+                        if seq >= up_to {
+                            break;
+                        }
+                        let (seq, (ds, cancelled)) =
+                            pool.pending.pop_first().expect("checked non-empty");
+                        if seq < released_watermark {
+                            stats.duplicate_releases_suppressed += 1;
+                            continue;
+                        }
+                        if cancelled {
+                            stats.jobs_cancelled += 1;
+                        }
+                        committed.insert(seq, ds);
+                    }
+                    released_watermark = released_watermark.max(up_to);
+                };
+
+            let mut seq = next_seq_start;
+            let mut merged = 0u64;
+            let mut crashed = false;
+            for (st, rx) in streams.iter_mut().zip(&rxs) {
+                st.refill(rx, &mut service_stats)?;
+            }
+            loop {
+                if crash_point.is_some_and(|p| merged >= p) {
+                    crashed = true;
+                    break;
+                }
+                let mut best: Option<usize> = None;
+                for (i, st) in streams.iter().enumerate() {
+                    if let Some((_, m)) = st.ready.front() {
+                        let better = match best {
+                            None => true,
+                            Some(b) => {
+                                let (_, bm) =
+                                    streams[b].ready.front().expect("best is nonempty");
+                                (m.ts_us, m.id) < (bm.ts_us, bm.id)
+                            }
+                        };
+                        if better {
+                            best = Some(i);
+                        }
+                    }
+                }
+                let Some(i) = best else { break };
+                let (gap, msg) = streams[i].ready.pop_front().expect("chosen head is nonempty");
+                streams[i].refill(&rxs[i], &mut service_stats)?;
+                if gap > 0 {
+                    analyzer.note_capture_gap(gap);
+                }
+                for job in analyzer.ingest(&msg) {
+                    pool.submit(seq, job)?;
+                    seq += 1;
+                }
+                pool.pump()?;
+                merged += 1;
+
+                if merged.is_multiple_of(cfg.checkpoint_every) {
+                    // Quiesce → checkpoint → release: outputs go out only
+                    // once the state that makes replay skip them is on the
+                    // journal.
+                    pool.quiesce()?;
+                    let astate =
+                        analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
+                    let payload = encode_checkpoint(&astate, seq, &streams);
+                    journal.append(KIND_CHECKPOINT, &payload);
+                    stats.checkpoints_written += 1;
+                    if let Some(byte) = cfg.chaos.corrupt(ckpt_index) {
+                        let (valid, _) = journal.record_counts();
+                        let corrupt_ok = journal.corrupt_record(valid.saturating_sub(1), byte);
+                        debug_assert!(corrupt_ok, "latest record exists");
+                        stats.checkpoints_corrupt += 1;
+                    }
+                    ckpt_index += 1;
+                    commit(&mut pool, seq, &mut stats);
+                }
+            }
+
+            if !crashed {
+                for job in analyzer.finish_jobs() {
+                    pool.submit(seq, job)?;
+                    seq += 1;
+                }
+                pool.quiesce()?;
+                // Final release: the stream is exhausted, nothing can be
+                // regenerated — no checkpoint needed to make it safe.
+                commit(&mut pool, seq, &mut stats);
+                for st in &streams {
+                    service_stats.capture.merge(&st.reseq.stats());
+                }
+            }
+            stats.worker_crashes += pool.worker_crashes;
+            stats.jobs_requeued += pool.jobs_requeued;
+            let replay_now: u64 = streams.iter().map(|s| s.reseq.stats().dup_discarded).sum();
+            stats.replayed_frames += replay_now.saturating_sub(replay_base);
+
+            // Teardown (on crash this abandons in-flight work): dropping
+            // the receiver ends of the agent links unblocks the agents;
+            // dropping the pool's job channel ends the workers. Uncommitted
+            // pending results die with `pool`.
+            drop(rxs);
+            drop(pool);
+            while let Ok(capture) = stat_rx.recv() {
+                service_stats.capture.merge(&capture);
+            }
+            Ok(if crashed { CycleEnd::Crashed } else { CycleEnd::Completed })
+        })?;
+
+        match end {
+            CycleEnd::Completed => break,
+            CycleEnd::Crashed => continue,
+        }
+    }
+
+    let diagnoses = committed.into_values().flatten().collect();
+    Ok((diagnoses, service_stats, analyzer.stats(), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_coins_are_deterministic_and_gated() {
+        let chaos = AnalyzerChaos { kill_prob: 1.0, ..AnalyzerChaos::none() };
+        assert!(chaos.kill(7, 0));
+        assert!(chaos.kill(7, 1));
+        assert!(!chaos.kill(7, 2), "kill coin never fires past kill_attempts");
+        assert!(!AnalyzerChaos::none().kill(7, 0));
+        assert!(AnalyzerChaos::none().is_noop());
+        let a = AnalyzerChaos { stall_prob: 0.5, seed: 9, ..AnalyzerChaos::none() };
+        for seq in 0..64 {
+            assert_eq!(a.stall(seq, 0), a.stall(seq, 0));
+        }
+    }
+
+    #[test]
+    fn corrupt_coin_keys_on_checkpoint_index() {
+        let chaos = AnalyzerChaos { corrupt_prob: 0.5, seed: 3, ..AnalyzerChaos::none() };
+        let fired: Vec<bool> = (0..32).map(|i| chaos.corrupt(i).is_some()).collect();
+        assert!(fired.iter().any(|&b| b) && fired.iter().any(|&b| !b));
+        assert_eq!(fired, (0..32).map(|i| chaos.corrupt(i).is_some()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_oldest_backpressure_is_rejected() {
+        let cat = gretel_model::Catalog::openstack();
+        let dep = gretel_sim::Deployment::standard();
+        let wf = gretel_model::Workflows::new(cat.clone());
+        let specs = vec![wf.vm_create_spec(gretel_model::OpSpecId(0))];
+        let (lib, _) = crate::fingerprint::FingerprintLibrary::characterize(cat, &specs, &dep, 1, 1);
+        let mut analyzer = Analyzer::new(
+            &lib,
+            crate::config::GretelConfig { alpha: 8, ..Default::default() },
+        );
+        let cfg = RecoveryConfig {
+            service: ServiceConfig {
+                backpressure: BackpressurePolicy::DropOldest,
+                ..ServiceConfig::default()
+            },
+            ..RecoveryConfig::default()
+        };
+        let err = run_service_recoverable(&mut analyzer, &[NodeId(0)], &[], &cfg).unwrap_err();
+        assert!(matches!(err, ServiceError::UnsupportedBackpressure));
+    }
+
+    #[test]
+    fn empty_traffic_completes_without_checkpoints() {
+        let cat = gretel_model::Catalog::openstack();
+        let dep = gretel_sim::Deployment::standard();
+        let wf = gretel_model::Workflows::new(cat.clone());
+        let specs = vec![wf.vm_create_spec(gretel_model::OpSpecId(0))];
+        let (lib, _) = crate::fingerprint::FingerprintLibrary::characterize(cat, &specs, &dep, 1, 1);
+        let mut analyzer = Analyzer::new(
+            &lib,
+            crate::config::GretelConfig { alpha: 8, ..Default::default() },
+        );
+        let (diags, svc, _, rec) = run_service_recoverable(
+            &mut analyzer,
+            &[NodeId(0), NodeId(1)],
+            &[],
+            &RecoveryConfig::default(),
+        )
+        .expect("empty run completes");
+        assert!(diags.is_empty());
+        assert_eq!(svc.frames, 0);
+        assert_eq!(rec, RecoveryStats::default());
+    }
+}

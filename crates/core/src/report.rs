@@ -34,10 +34,11 @@ pub enum FaultKind {
 /// window contains capture-gap markers (frames the receiver inferred lost
 /// from per-agent sequence numbers), the diagnosis says so instead of
 /// presenting a lossy match as exact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub enum CaptureConfidence {
     /// Every frame around the fault was captured; matching ran on complete
     /// evidence.
+    #[default]
     Exact,
     /// The snapshot window spans capture gaps; matching may have widened
     /// across the holes (degraded mode).
@@ -47,18 +48,16 @@ pub enum CaptureConfidence {
         /// Total frames inferred lost inside the window.
         lost: u32,
     },
+    /// Snapshot analysis exceeded its per-job deadline and was cancelled:
+    /// the fault is reported (never silently swallowed) but no matching or
+    /// root-cause evidence backs it.
+    Cancelled,
 }
 
 impl CaptureConfidence {
     /// True for [`CaptureConfidence::Exact`].
     pub fn is_exact(&self) -> bool {
         matches!(self, CaptureConfidence::Exact)
-    }
-}
-
-impl Default for CaptureConfidence {
-    fn default() -> Self {
-        CaptureConfidence::Exact
     }
 }
 
@@ -125,10 +124,18 @@ impl Diagnosis {
             self.theta,
             self.beta_used
         ));
-        if let CaptureConfidence::Degraded { gaps, lost } = self.confidence {
-            out.push_str(&format!(
-                "  capture DEGRADED: {lost} frame(s) lost across {gaps} gap(s) in the window\n"
-            ));
+        match self.confidence {
+            CaptureConfidence::Exact => {}
+            CaptureConfidence::Degraded { gaps, lost } => {
+                out.push_str(&format!(
+                    "  capture DEGRADED: {lost} frame(s) lost across {gaps} gap(s) in the window\n"
+                ));
+            }
+            CaptureConfidence::Cancelled => {
+                out.push_str(
+                    "  analysis CANCELLED: per-job deadline exceeded; no matching evidence\n",
+                );
+            }
         }
         for op in &self.matched {
             let name = specs
@@ -205,6 +212,24 @@ mod tests {
         let s = d.render(&[spec("op")]);
         assert!(s.contains("capture DEGRADED"));
         assert!(s.contains("7 frame(s) lost across 2 gap(s)"));
+        assert!(!d.confidence.is_exact());
+    }
+
+    #[test]
+    fn render_mentions_cancelled_analysis() {
+        let d = Diagnosis {
+            kind: FaultKind::Operational { status: Some(503), rpc: false },
+            api: ApiId(2),
+            ts: 0,
+            matched: vec![],
+            theta: 0.0,
+            beta_used: 0,
+            candidates: 0,
+            root_causes: vec![],
+            confidence: CaptureConfidence::Cancelled,
+        };
+        let s = d.render(&[]);
+        assert!(s.contains("analysis CANCELLED"));
         assert!(!d.confidence.is_exact());
     }
 

@@ -16,24 +16,111 @@
 //! shapes, expressed in terms of the same machinery.
 
 use crate::analyzer::{Analyzer, AnalyzerStats, SnapshotJob};
+use crate::checkpoint::CheckpointError;
 use crate::report::Diagnosis;
 use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use gretel_model::{Message, NodeId};
-use gretel_netcap::{decode_one_seq, CaptureAgent, CaptureImpairment, CaptureStats, Resequencer};
+use gretel_netcap::{
+    decode_one_seq, CaptureAgent, CaptureImpairment, CaptureStats, CodecError, Resequencer,
+};
 use std::collections::VecDeque;
+
+/// Why a service run could not complete (or start).
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A frame on an agent link failed to decode — the capture plane is
+    /// shipping corrupt or mis-versioned frames.
+    Codec(CodecError),
+    /// The analysis pool disappeared while the receiver still had jobs to
+    /// hand it (every worker exited or panicked unrecoverably).
+    PoolDisconnected,
+    /// The requested recovery configuration needs a backpressure policy
+    /// that preserves the frame stream ([`BackpressurePolicy::Block`]):
+    /// lossy eviction is nondeterministic across restarts, so replay could
+    /// not reproduce the pre-crash stream.
+    UnsupportedBackpressure,
+    /// The analyzer's state cannot be serialized (a plug-in perf detector
+    /// without [`gretel_telemetry::OutlierDetector::export_state`]), so
+    /// checkpointing is impossible with this configuration.
+    NotCheckpointable,
+    /// A checkpoint journal failed to restore.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Codec(e) => write!(f, "agent frame failed to decode: {e}"),
+            ServiceError::PoolDisconnected => {
+                write!(f, "analysis pool disconnected with jobs outstanding")
+            }
+            ServiceError::UnsupportedBackpressure => {
+                write!(f, "recovery requires BackpressurePolicy::Block (lossy eviction cannot be replayed deterministically)")
+            }
+            ServiceError::NotCheckpointable => {
+                write!(f, "analyzer state is not serializable (opaque plug-in perf detector)")
+            }
+            ServiceError::Checkpoint(e) => write!(f, "checkpoint restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Codec(e) => Some(e),
+            ServiceError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ServiceError {
+    fn from(e: CodecError) -> ServiceError {
+        ServiceError::Codec(e)
+    }
+}
+
+impl From<CheckpointError> for ServiceError {
+    fn from(e: CheckpointError) -> ServiceError {
+        ServiceError::Checkpoint(e)
+    }
+}
+
+/// Resolve a raw `GRETEL_WORKERS` value to a pool width. `None` (variable
+/// unset) and `Some(valid positive integer)` behave as documented on
+/// [`run_service`]; anything else — unparseable text, zero — is rejected
+/// with a warning on stderr and an explicit fall back to the machine
+/// default, never silently treated as "unset".
+fn parse_workers_env(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match raw.trim().parse::<usize>() {
+        Ok(0) => {
+            eprintln!(
+                "gretel: GRETEL_WORKERS=0 is not a valid pool width; \
+                 falling back to the machine default"
+            );
+            None
+        }
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!(
+                "gretel: GRETEL_WORKERS={raw:?} is not a positive integer; \
+                 falling back to the machine default"
+            );
+            None
+        }
+    }
+}
 
 /// Default analysis-pool width for [`run_service`]: the `GRETEL_WORKERS`
 /// environment variable when set to a positive integer, otherwise the
 /// machine's parallelism capped at 4 (a laptop-friendly default — set the
 /// variable to use every core of a big box).
 fn default_workers() -> usize {
-    if let Ok(v) = std::env::var("GRETEL_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    if let Some(n) = parse_workers_env(std::env::var("GRETEL_WORKERS").ok().as_deref()) {
+        return n;
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
 }
@@ -158,13 +245,17 @@ struct AgentStream {
 
 impl AgentStream {
     /// Pull frames until at least one message is ready or the stream ends.
-    fn refill(&mut self, rx: &Receiver<Bytes>, stats: &mut ServiceStats) {
+    fn refill(
+        &mut self,
+        rx: &Receiver<Bytes>,
+        stats: &mut ServiceStats,
+    ) -> Result<(), ServiceError> {
         while self.ready.is_empty() && !self.done {
             match rx.recv() {
                 Ok(frame) => {
                     stats.frames += 1;
                     stats.bytes += frame.len() as u64;
-                    let (msg, seq) = decode_one_seq(&frame).expect("agent frames decode");
+                    let (msg, seq) = decode_one_seq(&frame)?;
                     match &mut self.reseq {
                         Some(r) => self.ready.extend(r.push(seq, msg)),
                         None => self.ready.push_back((0, msg)),
@@ -178,15 +269,20 @@ impl AgentStream {
                 }
             }
         }
+        Ok(())
     }
 }
 
 /// Ship one agent's (possibly impaired) frames under a backpressure
-/// policy. Returns `false` if the receiver went away.
-fn ship_frames(
+/// policy. Returns `false` if the receiver went away. `evict_rx` must be
+/// `Some` under [`BackpressurePolicy::DropOldest`] and `None` under
+/// [`BackpressurePolicy::Block`] — a blocking agent must not hold a
+/// receiver clone, or its own handle would keep the link alive (and its
+/// sends blocked forever) after the real receiver hung up.
+pub(crate) fn ship_frames(
     frames: Vec<Bytes>,
     tx: &Sender<Bytes>,
-    evict_rx: &Receiver<Bytes>,
+    evict_rx: Option<&Receiver<Bytes>>,
     policy: BackpressurePolicy,
     drops: &mut u64,
 ) -> bool {
@@ -198,6 +294,7 @@ fn ship_frames(
                 }
             }
             BackpressurePolicy::DropOldest => {
+                let evict_rx = evict_rx.expect("DropOldest requires an eviction handle");
                 let mut frame = frame;
                 loop {
                     match tx.try_send(frame) {
@@ -247,6 +344,23 @@ pub fn run_service_cfg(
     traffic: &[Message],
     cfg: &ServiceConfig,
 ) -> (Vec<Diagnosis>, ServiceStats, AnalyzerStats) {
+    // In-process agents encode with the same codec the receiver decodes
+    // with and the pool only exits once the job channel closes, so neither
+    // error source can fire in this legacy shape.
+    run_service_checked(analyzer, nodes, traffic, cfg)
+        .expect("in-process pipeline cannot hit transport errors")
+}
+
+/// [`run_service_cfg`] with transport errors surfaced instead of panicking:
+/// a frame that fails to decode or an analysis pool that vanishes
+/// mid-stream comes back as a [`ServiceError`] so a supervising caller
+/// (e.g. the crash-recovery service) can react.
+pub fn run_service_checked(
+    analyzer: &mut Analyzer<'_>,
+    nodes: &[NodeId],
+    traffic: &[Message],
+    cfg: &ServiceConfig,
+) -> Result<(Vec<Diagnosis>, ServiceStats, AnalyzerStats), ServiceError> {
     assert!(cfg.channel_capacity > 0);
     let workers = cfg.effective_workers();
     let sequenced = cfg.sequenced();
@@ -262,7 +376,7 @@ pub fn run_service_cfg(
     // Agents report their capture-side stats here at end of stream.
     let (stat_tx, stat_rx) = crossbeam_channel::unbounded::<(CaptureStats, u64)>();
 
-    std::thread::scope(|scope| {
+    std::thread::scope(|scope| -> Result<(), ServiceError> {
         // The analysis pool: stateless workers over shared MPMC channels.
         for _ in 0..workers {
             let job_rx = job_rx.clone();
@@ -288,6 +402,9 @@ pub fn run_service_cfg(
             let impairment = cfg.impairment;
             let policy = cfg.backpressure;
             scope.spawn(move || {
+                // Under Block the agent must not hold a receiver handle —
+                // see [`ship_frames`]; drop it before the first send.
+                let evict_rx = (policy == BackpressurePolicy::DropOldest).then_some(rx);
                 let mut capture = CaptureStats::default();
                 let mut drops = 0u64;
                 if sequenced {
@@ -301,7 +418,7 @@ pub fn run_service_cfg(
                             frames
                         }
                     };
-                    ship_frames(frames, &tx, &rx, policy, &mut drops);
+                    ship_frames(frames, &tx, evict_rx.as_ref(), policy, &mut drops);
                 } else {
                     // Legacy lossless path: stream frame by frame.
                     for msg in traffic {
@@ -332,7 +449,7 @@ pub fn run_service_cfg(
             })
             .collect();
         for (st, rx) in streams.iter_mut().zip(&rxs) {
-            st.refill(rx, &mut service_stats);
+            st.refill(rx, &mut service_stats)?;
         }
         loop {
             let mut best: Option<usize> = None;
@@ -352,12 +469,14 @@ pub fn run_service_cfg(
             }
             let Some(i) = best else { break };
             let (gap, msg) = streams[i].ready.pop_front().expect("chosen head is nonempty");
-            streams[i].refill(&rxs[i], &mut service_stats);
+            streams[i].refill(&rxs[i], &mut service_stats)?;
             if gap > 0 {
                 analyzer.note_capture_gap(gap);
             }
             for job in analyzer.ingest(&msg) {
-                job_tx.send((seq, job)).expect("analysis pool alive");
+                if job_tx.send((seq, job)).is_err() {
+                    return Err(ServiceError::PoolDisconnected);
+                }
                 seq += 1;
             }
         }
@@ -367,7 +486,9 @@ pub fn run_service_cfg(
             }
         }
         for job in analyzer.finish_jobs() {
-            job_tx.send((seq, job)).expect("analysis pool alive");
+            if job_tx.send((seq, job)).is_err() {
+                return Err(ServiceError::PoolDisconnected);
+            }
             seq += 1;
         }
         drop(job_tx); // pool drains and exits
@@ -390,10 +511,11 @@ pub fn run_service_cfg(
         for (_, ds) in results {
             diagnoses.extend(ds);
         }
-    });
+        Ok(())
+    })?;
 
     let analyzer_stats = analyzer.stats();
-    (diagnoses, service_stats, analyzer_stats)
+    Ok((diagnoses, service_stats, analyzer_stats))
 }
 
 #[cfg(test)]
@@ -605,6 +727,29 @@ mod tests {
     #[test]
     fn workers_knob_and_env_override_resolve() {
         assert_eq!(ServiceConfig { workers: Some(7), ..Default::default() }.effective_workers(), 7);
+        assert!(ServiceConfig::default().effective_workers() >= 1);
+    }
+
+    // parse_workers_env is tested against raw values, not the real
+    // environment: tests run in parallel and the process environment is
+    // shared mutable state.
+    #[test]
+    fn workers_env_valid_values_parse() {
+        assert_eq!(parse_workers_env(None), None);
+        assert_eq!(parse_workers_env(Some("8")), Some(8));
+        assert_eq!(parse_workers_env(Some("  3 ")), Some(3));
+    }
+
+    #[test]
+    fn workers_env_unparseable_value_falls_back_with_warning() {
+        assert_eq!(parse_workers_env(Some("many")), None);
+        assert_eq!(parse_workers_env(Some("")), None);
+        assert_eq!(parse_workers_env(Some("-2")), None);
+    }
+
+    #[test]
+    fn workers_env_zero_falls_back_with_warning() {
+        assert_eq!(parse_workers_env(Some("0")), None);
         assert!(ServiceConfig::default().effective_workers() >= 1);
     }
 }

@@ -162,6 +162,52 @@ impl SlidingWindow {
             .unwrap_or(0); // fault already evicted (tiny α): anchor at start
         Snapshot { fault, events, fault_index }
     }
+
+    /// Serialize the full window state — α, ring contents, and armed
+    /// snapshots with their countdowns — for an analyzer checkpoint.
+    pub(crate) fn export_state(&self, out: &mut Vec<u8>) {
+        use crate::checkpoint::codec::{put_u32, put_u64};
+        put_u64(out, self.alpha as u64);
+        put_u32(out, self.buf.len() as u32);
+        for ev in &self.buf {
+            crate::checkpoint::put_event(out, ev);
+        }
+        put_u32(out, self.armed.len() as u32);
+        for a in &self.armed {
+            crate::checkpoint::put_event(out, &a.fault);
+            put_u64(out, a.remaining as u64);
+        }
+    }
+
+    /// Rebuild a window from [`SlidingWindow::export_state`] bytes.
+    pub(crate) fn import_state(
+        r: &mut crate::checkpoint::codec::Reader<'_>,
+    ) -> Result<SlidingWindow, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::CheckpointError;
+        let alpha = r.u64()? as usize;
+        if !(2..=(1 << 24)).contains(&alpha) {
+            return Err(CheckpointError::Invalid("window alpha"));
+        }
+        let n = r.u32()? as usize;
+        if n > alpha {
+            return Err(CheckpointError::Invalid("window overfull"));
+        }
+        let mut buf = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            buf.push_back(crate::checkpoint::read_event(r)?);
+        }
+        let n_armed = r.u32()? as usize;
+        let mut armed = Vec::with_capacity(n_armed);
+        for _ in 0..n_armed {
+            let fault = crate::checkpoint::read_event(r)?;
+            let remaining = r.u64()? as usize;
+            if remaining == 0 {
+                return Err(CheckpointError::Invalid("armed snapshot with zero countdown"));
+            }
+            armed.push(Armed { fault, remaining });
+        }
+        Ok(SlidingWindow { alpha, buf, armed })
+    }
 }
 
 #[cfg(test)]

@@ -138,8 +138,13 @@ pub fn merge_captures(batches: Vec<Vec<Message>>) -> Vec<Message> {
 /// Split deployment-wide traffic into per-agent views, capturing with one
 /// agent per node, and merge back into the analyzer's input order.
 /// Returns the merged decoded stream plus the total encoded byte count
-/// (what actually crossed the monitoring network).
-pub fn capture_and_merge(nodes: &[NodeId], traffic: &[Message]) -> (Vec<Message>, usize) {
+/// (what actually crossed the monitoring network), or the codec error if a
+/// frame fails to round-trip (a corrupted link, or an agent/analyzer
+/// version mismatch — never silently dropped).
+pub fn capture_and_merge(
+    nodes: &[NodeId],
+    traffic: &[Message],
+) -> Result<(Vec<Message>, usize), frame::CodecError> {
     let mut bytes_total = 0usize;
     let mut batches = Vec::with_capacity(nodes.len());
     for &node in nodes {
@@ -148,11 +153,11 @@ pub fn capture_and_merge(nodes: &[NodeId], traffic: &[Message]) -> (Vec<Message>
         let mut decoded = Vec::with_capacity(frames.len());
         for f in frames {
             bytes_total += f.len();
-            decoded.push(frame::decode_one(&f).expect("agent-encoded frame decodes"));
+            decoded.push(frame::decode_one(&f)?);
         }
         batches.push(decoded);
     }
-    (merge_captures(batches), bytes_total)
+    Ok((merge_captures(batches), bytes_total))
 }
 
 #[cfg(test)]
@@ -207,7 +212,7 @@ mod tests {
             msg(2, 20, 1, Service::Glance),
         ];
         let nodes: Vec<NodeId> = (0..3).map(NodeId).collect();
-        let (merged, bytes) = capture_and_merge(&nodes, &traffic);
+        let (merged, bytes) = capture_and_merge(&nodes, &traffic).unwrap();
         assert_eq!(merged.len(), 3);
         assert!(bytes > 0);
         let ts: Vec<u64> = merged.iter().map(|m| m.ts_us).collect();
@@ -679,6 +684,86 @@ impl Resequencer {
             out.push((0, msg));
         }
     }
+
+    /// Serialize the full resequencing state — delivery position, parked
+    /// out-of-order frames, depth and accumulated stats — for an analyzer
+    /// checkpoint. Restoring with [`Resequencer::restore_state`] and
+    /// replaying the agent stream from the beginning yields exactly the
+    /// suffix the uninterrupted resequencer would have produced: replayed
+    /// frames with `seq < next` (or already parked) are discarded as
+    /// duplicates, so the downstream merge sees each message once.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.pending.len() * 64);
+        out.extend_from_slice(&self.next.to_le_bytes());
+        out.extend_from_slice(&(self.depth as u64).to_le_bytes());
+        for v in [
+            self.stats.frames,
+            self.stats.dropped,
+            self.stats.duplicated,
+            self.stats.reordered,
+            self.stats.stalled,
+            self.stats.gaps,
+            self.stats.lost,
+            self.stats.dup_discarded,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.pending.len() as u32).to_le_bytes());
+        for (&seq, msg) in &self.pending {
+            let encoded = frame::encode(msg);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+            out.extend_from_slice(&encoded);
+        }
+        out
+    }
+
+    /// Rebuild a resequencer from [`Resequencer::export_state`] bytes.
+    /// Malformed input is a [`frame::CodecError`], never a partial restore.
+    pub fn restore_state(bytes: &[u8]) -> Result<Resequencer, frame::CodecError> {
+        use frame::CodecError;
+        fn take<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N], CodecError> {
+            if buf.len() < N {
+                return Err(CodecError::Truncated);
+            }
+            let (head, rest) = buf.split_at(N);
+            *buf = rest;
+            Ok(head.try_into().expect("split_at length"))
+        }
+        let mut buf = bytes;
+        let next = u64::from_le_bytes(take(&mut buf)?);
+        let depth = u64::from_le_bytes(take(&mut buf)?) as usize;
+        let mut fields = [0u64; 8];
+        for f in &mut fields {
+            *f = u64::from_le_bytes(take(&mut buf)?);
+        }
+        let stats = CaptureStats {
+            frames: fields[0],
+            dropped: fields[1],
+            duplicated: fields[2],
+            reordered: fields[3],
+            stalled: fields[4],
+            gaps: fields[5],
+            lost: fields[6],
+            dup_discarded: fields[7],
+        };
+        let count = u32::from_le_bytes(take(&mut buf)?) as usize;
+        let mut pending = BTreeMap::new();
+        for _ in 0..count {
+            let seq = u64::from_le_bytes(take(&mut buf)?);
+            let len = u32::from_le_bytes(take(&mut buf)?) as usize;
+            if buf.len() < len {
+                return Err(CodecError::Truncated);
+            }
+            let (head, rest) = buf.split_at(len);
+            buf = rest;
+            pending.insert(seq, frame::decode_one(head)?);
+        }
+        if !buf.is_empty() {
+            return Err(CodecError::InvalidField("trailing bytes after resequencer state"));
+        }
+        Ok(Resequencer { next, pending, depth, stats })
+    }
 }
 
 #[cfg(test)]
@@ -867,6 +952,55 @@ mod impairment_tests {
         assert_eq!(gaps, vec![0, 4, 1]);
         assert_eq!(rsq.stats().gaps, 2);
         assert_eq!(rsq.stats().lost, 5);
+    }
+
+    #[test]
+    fn resequencer_state_round_trips_and_dedups_replay() {
+        // Build mid-stream state: parked frames and a recorded gap.
+        let mut rsq = Resequencer::new(8);
+        let mut live = Vec::new();
+        for seq in [0u64, 1, 3, 5] {
+            live.extend(rsq.push(Some(seq), msg(seq)));
+        }
+        let state = rsq.export_state();
+        let mut restored = Resequencer::restore_state(&state).unwrap();
+        assert_eq!(restored.stats(), rsq.stats());
+
+        // Replay the whole stream from the start into the restored copy:
+        // already-delivered and already-parked seqs are discarded as dups,
+        // then the stream continues. The concatenation of live prefix +
+        // restored suffix equals the uninterrupted run.
+        let mut uninterrupted = Resequencer::new(8);
+        let mut want = Vec::new();
+        let full = [0u64, 1, 3, 5, 2, 4, 6];
+        for &seq in &full {
+            want.extend(uninterrupted.push(Some(seq), msg(seq)));
+        }
+        want.extend(uninterrupted.flush());
+
+        let mut got = live;
+        for &seq in &full {
+            got.extend(restored.push(Some(seq), msg(seq)));
+        }
+        got.extend(restored.flush());
+        assert_eq!(got, want);
+        // Dup discards differ (the replayed prefix), but loss accounting
+        // matches.
+        assert_eq!(restored.stats().lost, uninterrupted.stats().lost);
+        assert_eq!(restored.stats().gaps, uninterrupted.stats().gaps);
+    }
+
+    #[test]
+    fn resequencer_restore_rejects_malformed_state() {
+        let mut rsq = Resequencer::new(4);
+        rsq.push(Some(0), msg(0));
+        rsq.push(Some(2), msg(2));
+        let state = rsq.export_state();
+        assert!(Resequencer::restore_state(&state[..state.len() - 1]).is_err());
+        assert!(Resequencer::restore_state(&[0u8; 7]).is_err());
+        let mut trailing = state.clone();
+        trailing.push(0xFF);
+        assert!(Resequencer::restore_state(&trailing).is_err());
     }
 
     #[test]

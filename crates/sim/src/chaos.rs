@@ -1,0 +1,89 @@
+//! Crash schedules for the recovery experiment.
+//!
+//! The fault-tolerant analyzer service (`gretel-core::recover`) accepts a
+//! list of scheduled crash points: the n-th service cycle crashes after
+//! merging that many messages, then restores from its checkpoint journal
+//! and replays. This module generates those schedules deterministically
+//! from a seed, so a recovery run — like every other experiment in this
+//! repository — is reproducible bit for bit.
+
+/// A deterministic schedule of service crashes. `points[n]` is how many
+/// messages the n-th cycle merges before crashing; one point is consumed
+/// per cycle, and a finite schedule always lets the run complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// Per-cycle crash points (merged-message counts).
+    pub points: Vec<u64>,
+}
+
+/// Splitmix64 finalizer, the same coin family the capture and analysis
+/// chaos injectors use.
+fn mix64(seed: u64, a: u64, salt: u64) -> u64 {
+    let mut x = seed
+        ^ (a + 1).wrapping_mul(0xA076_1D64_78BD_642F)
+        ^ (salt + 1).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+impl CrashSchedule {
+    /// No crashes: the service runs uninterrupted.
+    pub fn none() -> CrashSchedule {
+        CrashSchedule { points: Vec::new() }
+    }
+
+    /// Explicit crash points (merged-message count per cycle, in cycle
+    /// order).
+    pub fn at(points: Vec<u64>) -> CrashSchedule {
+        CrashSchedule { points }
+    }
+
+    /// `crashes` seeded crash points, each uniform in `[1, span]` — a
+    /// cycle never crashes before merging at least one message, so every
+    /// cycle makes progress and the run terminates. `span` should be on
+    /// the order of the stream length; points past the end of a cycle's
+    /// remaining stream simply let that cycle complete.
+    pub fn seeded(seed: u64, crashes: usize, span: u64) -> CrashSchedule {
+        let span = span.max(1);
+        let points = (0..crashes as u64).map(|i| 1 + mix64(seed, i, 31) % span).collect();
+        CrashSchedule { points }
+    }
+
+    /// Number of scheduled crashes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the schedule is empty (no crashes).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_schedules_are_deterministic_and_in_range() {
+        let a = CrashSchedule::seeded(42, 8, 1000);
+        let b = CrashSchedule::seeded(42, 8, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.points.iter().all(|&p| (1..=1000).contains(&p)));
+        let c = CrashSchedule::seeded(43, 8, 1000);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn degenerate_spans_still_make_progress() {
+        let s = CrashSchedule::seeded(7, 4, 0);
+        assert!(s.points.iter().all(|&p| p == 1));
+        assert!(CrashSchedule::none().is_empty());
+        assert_eq!(CrashSchedule::at(vec![10, 20]).len(), 2);
+    }
+}

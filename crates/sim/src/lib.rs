@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod deployment;
 pub mod engine;
 pub mod executor;
@@ -29,6 +30,7 @@ pub mod resources;
 pub mod scenario;
 pub mod stream;
 
+pub use chaos::CrashSchedule;
 pub use deployment::{Deployment, NodeSpec};
 pub use engine::{ms, secs, EventQueue, SimTime, SECOND};
 pub use executor::{Execution, InstanceOutcome, NoiseConfig, RunConfig, Runner, WatcherSample};

@@ -53,6 +53,79 @@ pub trait OutlierDetector {
 
     /// Reset all internal state.
     fn reset(&mut self);
+
+    /// Serialize the detector's *dynamic* state for checkpointing (the
+    /// configuration is not included — a restored detector must be
+    /// constructed with the same configuration first). Returns `None` when
+    /// the detector does not support checkpointing; callers treat that as
+    /// "this analyzer cannot be checkpointed" rather than silently losing
+    /// state.
+    fn export_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restore dynamic state previously produced by
+    /// [`OutlierDetector::export_state`] on an identically configured
+    /// detector. Returns `false` (leaving the detector untouched or reset)
+    /// when the bytes do not decode; a checkpoint restore treats that as a
+    /// hard error.
+    fn import_state(&mut self, _bytes: &[u8]) -> bool {
+        false
+    }
+}
+
+/// Minimal byte writer/reader for detector state (checkpoint payloads are
+/// internal, versioned by the journal that carries them).
+mod statebuf {
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn put_f64_seq<'a>(out: &mut Vec<u8>, vals: impl ExactSizeIterator<Item = &'a f64>) {
+        put_u32(out, vals.len() as u32);
+        for &v in vals {
+            put_f64(out, v);
+        }
+    }
+
+    pub struct Reader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        pub fn new(buf: &'a [u8]) -> Reader<'a> {
+            Reader { buf, pos: 0 }
+        }
+
+        pub fn u32(&mut self) -> Option<u32> {
+            let b = self.buf.get(self.pos..self.pos + 4)?;
+            self.pos += 4;
+            Some(u32::from_le_bytes(b.try_into().ok()?))
+        }
+
+        pub fn f64(&mut self) -> Option<f64> {
+            let b = self.buf.get(self.pos..self.pos + 8)?;
+            self.pos += 8;
+            Some(f64::from_bits(u64::from_le_bytes(b.try_into().ok()?)))
+        }
+
+        pub fn f64_seq(&mut self) -> Option<Vec<f64>> {
+            let n = self.u32()? as usize;
+            if n > self.buf.len().saturating_sub(self.pos) / 8 {
+                return None; // length prefix inconsistent with remaining bytes
+            }
+            (0..n).map(|_| self.f64()).collect()
+        }
+
+        pub fn done(&self) -> bool {
+            self.pos == self.buf.len()
+        }
+    }
 }
 
 /// Configuration of the level-shift detector.
@@ -221,6 +294,46 @@ impl OutlierDetector for LevelShiftDetector {
         self.test.clear();
         self.cached_stats = None;
         self.staleness = 0;
+    }
+
+    fn export_state(&self) -> Option<Vec<u8>> {
+        use statebuf::{put_f64, put_f64_seq, put_u32};
+        let mut out = Vec::new();
+        put_f64_seq(&mut out, self.baseline.iter());
+        put_f64_seq(&mut out, self.test.iter());
+        match self.cached_stats {
+            Some((med, sigma)) => {
+                put_u32(&mut out, 1);
+                put_f64(&mut out, med);
+                put_f64(&mut out, sigma);
+            }
+            None => put_u32(&mut out, 0),
+        }
+        put_u32(&mut out, self.staleness as u32);
+        Some(out)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = statebuf::Reader::new(bytes);
+        let Some(baseline) = r.f64_seq() else { return false };
+        let Some(test) = r.f64_seq() else { return false };
+        let cached = match r.u32() {
+            Some(0) => None,
+            Some(1) => match (r.f64(), r.f64()) {
+                (Some(m), Some(s)) => Some((m, s)),
+                _ => return false,
+            },
+            _ => return false,
+        };
+        let Some(staleness) = r.u32() else { return false };
+        if !r.done() {
+            return false;
+        }
+        self.baseline = baseline.into();
+        self.test = test.into();
+        self.cached_stats = cached;
+        self.staleness = staleness as usize;
+        true
     }
 }
 
@@ -430,6 +543,41 @@ impl OutlierDetector for EwmaDetector {
         self.var = 0.0;
         self.seen = 0;
     }
+
+    fn export_state(&self) -> Option<Vec<u8>> {
+        use statebuf::{put_f64, put_u32};
+        let mut out = Vec::new();
+        match self.mean {
+            Some(m) => {
+                put_u32(&mut out, 1);
+                put_f64(&mut out, m);
+            }
+            None => put_u32(&mut out, 0),
+        }
+        put_f64(&mut out, self.var);
+        put_u32(&mut out, self.seen as u32);
+        Some(out)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = statebuf::Reader::new(bytes);
+        let mean = match r.u32() {
+            Some(0) => None,
+            Some(1) => match r.f64() {
+                Some(m) => Some(m),
+                None => return false,
+            },
+            _ => return false,
+        };
+        let (Some(var), Some(seen)) = (r.f64(), r.u32()) else { return false };
+        if !r.done() {
+            return false;
+        }
+        self.mean = mean;
+        self.var = var;
+        self.seen = seen as usize;
+        true
+    }
 }
 
 /// Additive-outlier (spike) detector: flags *isolated* points far from the
@@ -494,6 +642,22 @@ impl OutlierDetector for SpikeDetector {
     fn reset(&mut self) {
         self.window.clear();
     }
+
+    fn export_state(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        statebuf::put_f64_seq(&mut out, self.window.iter());
+        Some(out)
+    }
+
+    fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = statebuf::Reader::new(bytes);
+        let Some(window) = r.f64_seq() else { return false };
+        if !r.done() {
+            return false;
+        }
+        self.window = window.into();
+        true
+    }
 }
 
 #[cfg(test)]
@@ -556,6 +720,46 @@ mod more_detector_tests {
         // baseline.
         assert!(det.update(20, 400.0).is_some());
         assert!(det.update(21, 400.0).is_some());
+    }
+
+    #[test]
+    fn detector_state_round_trips_mid_stream() {
+        // Export mid-stream, import into a fresh identically-configured
+        // detector, and verify both halves produce identical verdicts on
+        // the remaining observations.
+        fn check<D: OutlierDetector>(mut det: D, fresh: &mut D) {
+            for i in 0..137u64 {
+                det.update(i, 25.0 + (i % 7) as f64);
+            }
+            let state = det.export_state().expect("checkpointable");
+            assert!(fresh.import_state(&state), "state imports");
+            for i in 137..400u64 {
+                let v = if i < 200 { 25.0 + (i % 7) as f64 } else { 180.0 };
+                assert_eq!(det.update(i, v), fresh.update(i, v), "diverged at {i}");
+            }
+        }
+        check(LevelShiftDetector::default(), &mut LevelShiftDetector::default());
+        check(EwmaDetector::default(), &mut EwmaDetector::default());
+        check(SpikeDetector::default(), &mut SpikeDetector::default());
+    }
+
+    #[test]
+    fn detector_state_import_rejects_garbage() {
+        let mut det = LevelShiftDetector::default();
+        assert!(!det.import_state(&[1, 2, 3]));
+        assert!(!det.import_state(&[0xFF; 64]));
+        let mut ew = EwmaDetector::default();
+        assert!(!ew.import_state(&[9]));
+        let mut sp = SpikeDetector::default();
+        assert!(!sp.import_state(&[1, 0, 0]));
+        // A valid export with trailing junk is rejected too.
+        let mut good = LevelShiftDetector::default();
+        for i in 0..50 {
+            good.update(i, 10.0);
+        }
+        let mut bytes = good.export_state().unwrap();
+        bytes.push(0);
+        assert!(!det.import_state(&bytes));
     }
 
     #[test]

@@ -162,6 +162,57 @@ impl TelemetryStore {
         out
     }
 
+    /// Telemetry series on `node` that are **stale** over `[from, until)`:
+    /// the node reported this metric at some point, but the series ends
+    /// before `from`, so the fault window has no samples at all. A stale
+    /// series looks exactly like a healthy one to
+    /// [`TelemetryStore::resource_anomalies`] (an empty window is skipped);
+    /// this query makes the distinction explicit so root cause analysis can
+    /// downgrade "no resource anomaly found" to "telemetry was missing"
+    /// instead of asserting health from absent data.
+    pub fn resource_staleness(
+        &self,
+        node: NodeId,
+        from: SimTime,
+        until: SimTime,
+    ) -> Vec<ResourceKind> {
+        let mut out = Vec::new();
+        for kind in ResourceKind::ALL {
+            let Some(series) = self.resource_series(node, kind) else {
+                continue; // never reported: genuinely no telemetry, not stale
+            };
+            if series.window(from, until).is_empty() && !series.window(0, from).is_empty() {
+                out.push(kind);
+            }
+        }
+        out
+    }
+
+    /// Dependency watchers on `node` that are stale over `[from, until)`:
+    /// they reported before `from` but have no sample inside the window, so
+    /// [`TelemetryStore::unhealthy_deps`] would read their silence as
+    /// health.
+    pub fn watcher_staleness(
+        &self,
+        node: NodeId,
+        from: SimTime,
+        until: SimTime,
+    ) -> Vec<Dependency> {
+        let mut out = Vec::new();
+        for (&(n, dep), states) in &self.watchers {
+            if n != node {
+                continue;
+            }
+            let in_window = states.iter().any(|&(ts, _)| ts >= from && ts < until);
+            let before = states.iter().any(|&(ts, _)| ts < from);
+            if !in_window && before {
+                out.push(dep);
+            }
+        }
+        out.sort_by_key(|d| d.name());
+        out
+    }
+
     /// Latest watcher verdict for `(node, dep)` at or before `ts`.
     pub fn dependency_state(&self, node: NodeId, dep: Dependency, ts: SimTime) -> Option<bool> {
         let states = self.watchers.get(&(node, dep))?;
@@ -270,6 +321,44 @@ mod tests {
         assert_eq!(store.dependency_state(NodeId(0), Dependency::NtpAgent, secs(3)), Some(true));
         assert_eq!(store.dependency_state(NodeId(0), Dependency::NtpAgent, secs(7)), Some(false));
         assert_eq!(store.dependency_state(NodeId(0), Dependency::NtpAgent, 0), None);
+    }
+
+    #[test]
+    fn staleness_flags_series_that_end_before_window() {
+        // CPU reported up to t=30s, then the monitoring agent went silent.
+        let pts: Vec<(SimTime, f64)> = (0..30).map(|i| (secs(i), 10.0)).collect();
+        let store = store_with_cpu(NodeId(7), &pts);
+        // Fault window after the silence: no anomaly (empty window skipped)
+        // but the series is reported stale rather than healthy.
+        assert!(store.resource_anomalies(NodeId(7), secs(60), secs(80)).is_empty());
+        assert_eq!(
+            store.resource_staleness(NodeId(7), secs(60), secs(80)),
+            vec![ResourceKind::CpuPercent]
+        );
+        // Window with live samples: not stale.
+        assert!(store.resource_staleness(NodeId(7), secs(10), secs(20)).is_empty());
+        // A node that never reported anything is absent, not stale.
+        assert!(store.resource_staleness(NodeId(8), secs(60), secs(80)).is_empty());
+    }
+
+    #[test]
+    fn watcher_staleness_flags_silent_watchers() {
+        let watchers = vec![WatcherSample {
+            ts: secs(5),
+            node: NodeId(9),
+            dep: Dependency::ServiceProcess(Service::NeutronAgent),
+            healthy: true,
+        }];
+        let store = TelemetryStore::from_samples(&[], &watchers);
+        // Window after the last report: silent, hence stale.
+        assert_eq!(
+            store.watcher_staleness(NodeId(9), secs(10), secs(20)),
+            vec![Dependency::ServiceProcess(Service::NeutronAgent)]
+        );
+        // Window covering the report: fresh.
+        assert!(store.watcher_staleness(NodeId(9), 0, secs(10)).is_empty());
+        // Never-reporting node: absent, not stale.
+        assert!(store.watcher_staleness(NodeId(10), secs(10), secs(20)).is_empty());
     }
 
     #[test]

@@ -20,7 +20,8 @@ fn main() {
 
     // Per-node egress agents capture and the receiver merges.
     let nodes: Vec<_> = deployment.nodes().iter().map(|n| n.id).collect();
-    let (merged, wire_bytes) = capture_and_merge(&nodes, &exec.messages);
+    let (merged, wire_bytes) =
+        capture_and_merge(&nodes, &exec.messages).expect("agent frames decode");
     println!(
         "captured {} relevant messages ({} wire bytes) across {} agents",
         merged.len(),

@@ -8,6 +8,15 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# Lint gate: the workspace (all targets — libs, bins, tests, examples)
+# must be clippy-clean.
+cargo clippy --offline --all-targets -- -D warnings
+
+# Crash-recovery smoke: one §7.2 scenario under worker kills, scheduled
+# service crashes and journal corruption; asserts zero diagnoses
+# lost/duplicated and byte-identical output (see EXPERIMENTS.md).
+cargo run --release --offline -q -p gretel-bench --bin recovery -- --smoke
+
 # Rustdoc must stay warning-free for the first-party crates, and the
 # runnable doc-examples are part of the test surface.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline \

@@ -1,0 +1,227 @@
+//! Crash-recovery invariants (DESIGN.md §11).
+//!
+//! The fault-tolerant service must be *transparent*: whatever the
+//! analysis plane suffers — killed workers, service crashes with
+//! checkpoint/replay restarts, corrupted checkpoint records — the
+//! committed diagnosis stream is byte-identical to the uninterrupted
+//! run's, with zero diagnoses lost and zero duplicated. Deadline
+//! cancellation is the one visible degradation, and it must be honest:
+//! a cancelled job's faults surface as `Cancelled`, never as `Exact`.
+
+use gretel::core::{
+    run_service_cfg, run_service_recoverable, Analyzer, AnalyzerChaos, CaptureConfidence,
+    GretelConfig, RecoveryConfig, ServiceConfig,
+};
+use gretel::model::{
+    Catalog, HttpMethod, Message, NodeId, OpSpecId, OperationSpec, Service, Workflows,
+};
+use gretel::netcap::CaptureImpairment;
+use gretel::sim::{
+    ApiFault, CrashSchedule, Deployment, FaultPlan, FaultScope, InjectedError, RunConfig, Runner,
+};
+use gretel_core::FingerprintLibrary;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct Fixture {
+    lib: FingerprintLibrary,
+    nodes: Vec<NodeId>,
+    messages: Vec<Message>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let cat = Catalog::openstack();
+        let dep = Deployment::standard();
+        let wf = Workflows::new(cat.clone());
+        let specs = vec![wf.vm_create_spec(OpSpecId(0)), wf.image_upload_spec(OpSpecId(1))];
+        let (lib, _) = FingerprintLibrary::characterize(cat.clone(), &specs, &dep, 2, 21);
+        let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
+        let put_file = cat.rest_expect(Service::Glance, HttpMethod::Put, "/v2/images/{id}/file");
+        let plan = FaultPlan::none()
+            .with_api_fault(ApiFault {
+                api: ports_post,
+                scope: FaultScope::AllInstances,
+                occurrence: 0,
+                error: InjectedError::RestStatus { status: 500, reason: None },
+                abort_op: true,
+            })
+            .with_api_fault(ApiFault {
+                api: put_file,
+                scope: FaultScope::AllInstances,
+                occurrence: 0,
+                error: InjectedError::RestStatus { status: 503, reason: None },
+                abort_op: true,
+            });
+        // Several hundred messages: enough stream for multiple checkpoint
+        // intervals and mid-stream crash points.
+        let refs: Vec<&OperationSpec> = specs.iter().cycle().take(24).collect();
+        let exec = Runner::new(cat, &dep, &plan, RunConfig { seed: 6, ..Default::default() })
+            .run(&refs);
+        let nodes = dep.nodes().iter().map(|n| n.id).collect();
+        Fixture { lib, nodes, messages: exec.messages }
+    })
+}
+
+fn gcfg() -> GretelConfig {
+    GretelConfig { alpha: 48, ..GretelConfig::default() }
+}
+
+/// The plain (non-recoverable) pipeline's output for a given impairment —
+/// the oracle every recovery run is compared against.
+fn reference(impairment: Option<CaptureImpairment>) -> Vec<gretel::core::Diagnosis> {
+    let fx = fixture();
+    let cfg = ServiceConfig {
+        impairment: Some(impairment.unwrap_or_else(CaptureImpairment::none)),
+        ..ServiceConfig::default()
+    };
+    let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+    let (diags, _, _) = run_service_cfg(&mut analyzer, &fx.nodes, &fx.messages, &cfg);
+    diags
+}
+
+#[test]
+fn no_chaos_recoverable_equals_plain_pipeline() {
+    let fx = fixture();
+    let expected = reference(None);
+    assert!(expected.len() >= 2, "fixture produces diagnoses");
+
+    let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+    let cfg = RecoveryConfig { checkpoint_every: 64, ..RecoveryConfig::default() };
+    let (diags, _, astats, rec) =
+        run_service_recoverable(&mut analyzer, &fx.nodes, &fx.messages, &cfg)
+            .expect("clean run completes");
+    assert_eq!(diags, expected);
+    assert!(rec.checkpoints_written > 0);
+    assert_eq!(rec.worker_crashes, 0);
+    assert_eq!(rec.restores, 0);
+    assert_eq!(rec.duplicate_releases_suppressed, 0);
+    assert!(astats.messages > 0);
+}
+
+#[test]
+fn worker_kills_and_service_crashes_preserve_the_output_exactly() {
+    let fx = fixture();
+    let expected = reference(None);
+
+    // Every job crashes its worker twice (attempts 0 and 1) and then
+    // completes; on top of that the service itself crashes twice and
+    // replays from its checkpoints.
+    let cfg = RecoveryConfig {
+        checkpoint_every: 64,
+        chaos: AnalyzerChaos { kill_prob: 1.0, kill_attempts: 2, seed: 17, ..AnalyzerChaos::none() },
+        max_attempts: 5,
+        crash_points: CrashSchedule::at(vec![150, 80]).points,
+        ..RecoveryConfig::default()
+    };
+    let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+    let (diags, svc, _, rec) =
+        run_service_recoverable(&mut analyzer, &fx.nodes, &fx.messages, &cfg)
+            .expect("chaotic run completes");
+
+    assert_eq!(diags, expected, "zero diagnoses lost, zero duplicated");
+    assert!(rec.worker_crashes > 0, "kill chaos fired: {rec:?}");
+    assert_eq!(rec.jobs_requeued, rec.worker_crashes, "every crashed job was requeued");
+    assert_eq!(rec.restores, 2, "one restore per scheduled crash");
+    assert!(rec.replayed_frames > 0, "replay re-shipped the consumed prefix");
+    assert_eq!(rec.jobs_cancelled, 0, "retry budget outlives the kill coin");
+    // Replay inflates transport stats (documented) but never the analysis.
+    assert!(svc.frames > 0);
+}
+
+#[test]
+fn stalled_jobs_are_cancelled_never_exact() {
+    let fx = fixture();
+    let expected = reference(None);
+
+    let cfg = RecoveryConfig {
+        checkpoint_every: 64,
+        deadline: Duration::from_secs(5),
+        chaos: AnalyzerChaos { stall_prob: 1.0, seed: 23, ..AnalyzerChaos::none() },
+        ..RecoveryConfig::default()
+    };
+    let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+    let (diags, _, _, rec) =
+        run_service_recoverable(&mut analyzer, &fx.nodes, &fx.messages, &cfg)
+            .expect("stalled run completes");
+
+    assert!(rec.jobs_cancelled > 0, "stall chaos fired: {rec:?}");
+    // Honesty: every fault still surfaces, each marked Cancelled — a
+    // deadline-cancelled job must never report Exact (or Degraded) since
+    // no matching evidence backs it.
+    assert_eq!(diags.len(), expected.len(), "no fault silently swallowed");
+    for d in &diags {
+        assert_eq!(d.confidence, CaptureConfidence::Cancelled, "{d:?}");
+        assert!(d.matched.is_empty() && d.root_causes.is_empty());
+    }
+}
+
+#[test]
+fn corrupt_checkpoints_fall_back_and_suppress_duplicate_releases() {
+    let fx = fixture();
+    let expected = reference(None);
+
+    // Every checkpoint record is corrupted, so the post-crash restore
+    // finds no valid record and replays from scratch. Already-released
+    // diagnoses are regenerated — the watermark must suppress them.
+    let cfg = RecoveryConfig {
+        checkpoint_every: 64,
+        chaos: AnalyzerChaos { corrupt_prob: 1.0, seed: 31, ..AnalyzerChaos::none() },
+        crash_points: vec![200],
+        ..RecoveryConfig::default()
+    };
+    let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+    let (diags, _, _, rec) =
+        run_service_recoverable(&mut analyzer, &fx.nodes, &fx.messages, &cfg)
+            .expect("corrupted-journal run completes");
+
+    assert_eq!(diags, expected, "cold replay still neither loses nor duplicates");
+    assert!(rec.checkpoints_corrupt > 0, "corruption chaos fired: {rec:?}");
+    assert_eq!(rec.checkpoints_corrupt, rec.checkpoints_written);
+    assert_eq!(rec.restores, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For ANY capture impairment composed with ANY schedule of service
+    /// crashes and worker kills, checkpoint/replay is transparent: the
+    /// committed diagnoses equal the uninterrupted impaired run's.
+    #[test]
+    fn recovery_is_transparent_under_capture_impairment(
+        drop_prob in prop_oneof![Just(0.0), 0.0..0.2f64],
+        dup_prob in 0.0..0.15f64,
+        reorder_prob in 0.0..0.2f64,
+        seed in any::<u64>(),
+        crashes in 1usize..3,
+        kill in any::<bool>(),
+    ) {
+        let fx = fixture();
+        let imp = CaptureImpairment {
+            drop_prob, dup_prob, reorder_prob, reorder_span: 3, stall: None, seed,
+        };
+        let expected = reference(Some(imp));
+
+        let chaos = if kill {
+            AnalyzerChaos { kill_prob: 0.5, kill_attempts: 2, seed, ..AnalyzerChaos::none() }
+        } else {
+            AnalyzerChaos::none()
+        };
+        let cfg = RecoveryConfig {
+            service: ServiceConfig { impairment: Some(imp), ..ServiceConfig::default() },
+            checkpoint_every: 48,
+            chaos,
+            max_attempts: 5,
+            crash_points: CrashSchedule::seeded(seed, crashes, 300).points,
+            ..RecoveryConfig::default()
+        };
+        let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+        let (diags, _, _, rec) =
+            run_service_recoverable(&mut analyzer, &fx.nodes, &fx.messages, &cfg)
+                .expect("impaired chaotic run completes");
+        prop_assert_eq!(diags, expected);
+        prop_assert_eq!(rec.jobs_cancelled, 0);
+    }
+}

@@ -111,7 +111,7 @@ fn agent_stall_is_reported_as_degraded_not_hidden() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// For ANY seeded impairment, diagnoses never misrepresent their
     /// evidence: `Exact` windows span no inferred loss, `Degraded` windows
@@ -146,6 +146,11 @@ proptest! {
                     prop_assert!(gaps > 0, "degraded window with no gaps: {:?}", d);
                     prop_assert!(lost >= gaps, "gaps={} lost={}", gaps, lost);
                     prop_assert!(u64::from(lost) <= astats.lost_frames);
+                }
+                // This pipeline imposes no per-job deadline, so analysis
+                // is never cancelled.
+                CaptureConfidence::Cancelled => {
+                    prop_assert!(false, "unexpected cancellation: {:?}", d);
                 }
             }
         }

@@ -183,6 +183,20 @@ impl<'a> Analyzer<'a> {
     /// sharded service ships the jobs to a worker pool instead (see
     /// [`crate::service::run_service_sharded`]).
     pub fn ingest(&mut self, msg: &Message) -> Vec<SnapshotJob> {
+        self.ingest_observed(msg, None)
+    }
+
+    /// [`Self::ingest`] with an optional metrics registry: snapshot
+    /// freezes (window stage) are counted and timed into it. The analyzer
+    /// cannot hold the registry itself — its lifetime parameter is pinned
+    /// to the fingerprint library — so the caller threads it through each
+    /// call. Passing `None` (or a disabled registry) is the exact fast
+    /// path of [`Self::ingest`].
+    pub fn ingest_observed(
+        &mut self,
+        msg: &Message,
+        metrics: Option<&gretel_obs::PipelineMetrics>,
+    ) -> Vec<SnapshotJob> {
         self.stats.messages += 1;
         self.stats.bytes += msg.payload.len() as u64;
 
@@ -247,11 +261,20 @@ impl<'a> Analyzer<'a> {
         }
 
         // 3. Window push; completed snapshots become jobs (the stateful
-        // part: stats, perf folding, error dedup), analyzed below.
+        // part: stats, perf folding, error dedup), analyzed below. The
+        // window stage meters snapshot freezes: how many windows froze and
+        // how long turning each batch into jobs took.
         let snapshots = self.window.push(ev);
         let mut jobs = Vec::with_capacity(snapshots.len());
-        for snap in snapshots {
-            jobs.push(self.prepare_job(snap));
+        if !snapshots.is_empty() {
+            let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Window);
+            for snap in snapshots {
+                jobs.push(self.prepare_job(snap));
+            }
+            if let Some(m) = metrics {
+                m.count(gretel_obs::Stage::Window, jobs.len() as u64);
+            }
+            t.finish();
         }
 
         // 4. Arm new snapshots. Operational: REST errors only (§5.3.1);
@@ -293,10 +316,27 @@ impl<'a> Analyzer<'a> {
     /// Stream-end counterpart of [`Self::ingest`]: flush pending snapshots
     /// into jobs without analyzing them.
     pub fn finish_jobs(&mut self) -> Vec<SnapshotJob> {
+        self.finish_jobs_observed(None)
+    }
+
+    /// [`Self::finish_jobs`] with an optional metrics registry; the
+    /// flushed snapshots count toward the window stage like mid-stream
+    /// freezes do (see [`Self::ingest_observed`]).
+    pub fn finish_jobs_observed(
+        &mut self,
+        metrics: Option<&gretel_obs::PipelineMetrics>,
+    ) -> Vec<SnapshotJob> {
         let snaps = self.window.flush();
         let mut jobs = Vec::with_capacity(snaps.len());
-        for snap in snaps {
-            jobs.push(self.prepare_job(snap));
+        if !snaps.is_empty() {
+            let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Window);
+            for snap in snaps {
+                jobs.push(self.prepare_job(snap));
+            }
+            if let Some(m) = metrics {
+                m.count(gretel_obs::Stage::Window, jobs.len() as u64);
+            }
+            t.finish();
         }
         jobs
     }
@@ -306,7 +346,7 @@ impl<'a> Analyzer<'a> {
     /// (lifetime `'a`), not the analyzer itself, so jobs can be analyzed on
     /// other threads while the analyzer keeps ingesting.
     pub fn snapshot_analyzer(&self) -> SnapshotAnalyzer<'a> {
-        SnapshotAnalyzer { cfg: self.cfg, lib: self.lib, rca: self.rca }
+        SnapshotAnalyzer { cfg: self.cfg, lib: self.lib, rca: self.rca, metrics: None }
     }
 
     /// Serialize the analyzer's full ingest state — window, pairer, perf
@@ -515,6 +555,41 @@ impl SnapshotJob {
     }
 }
 
+/// Per-job analysis budget for [`SnapshotAnalyzer::analyze_bounded`].
+///
+/// A budget bounds how much detection work a single snapshot job may
+/// consume before it is cancelled. [`JobBudget::Passes`] counts per-fault
+/// detection passes — a pure function of the job's contents — so the same
+/// job under the same budget always cancels (or completes) identically,
+/// which is what checkpoint/replay needs for byte-identical re-execution.
+/// [`JobBudget::WallClock`] reads the machine clock and is therefore
+/// *non-deterministic*: a replayed run may cancel different jobs than the
+/// original. The recoverable service rejects it
+/// ([`crate::ServiceError::NondeterministicBudget`]); it remains available
+/// for interactive / best-effort pipelines that genuinely want wall-clock
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobBudget {
+    /// No bound: analysis always runs to completion.
+    Unlimited,
+    /// At most this many per-fault detection passes; the job is cancelled
+    /// when the next pass would exceed the count. `Passes(0)` cancels
+    /// every non-clean job immediately (deterministic stand-in for a
+    /// stalled worker).
+    Passes(u64),
+    /// Wall-clock bound checked between detection passes. Replay-unsafe:
+    /// see the type-level docs.
+    WallClock(std::time::Duration),
+}
+
+impl JobBudget {
+    /// True when cancellation decisions depend only on the job's contents,
+    /// never on the machine clock — the property checkpoint/replay needs.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, JobBudget::WallClock(_))
+    }
+}
+
 /// The stateless half of the analyzer: runs Algorithm 2 + RCA over a
 /// prepared [`SnapshotJob`]. `Copy`, and borrows only the library /
 /// telemetry — hand one to each worker of an analysis pool.
@@ -523,29 +598,37 @@ pub struct SnapshotAnalyzer<'a> {
     cfg: GretelConfig,
     lib: &'a FingerprintLibrary,
     rca: Option<RcaContext<'a>>,
+    metrics: Option<&'a gretel_obs::PipelineMetrics>,
 }
 
 impl<'a> SnapshotAnalyzer<'a> {
+    /// Attach a metrics registry: analysis runs then time their detect /
+    /// match / RCA stages into it. Metrics never influence the diagnoses —
+    /// event counts are pure functions of the jobs, and latency values are
+    /// recorded, not consulted.
+    pub fn with_metrics(
+        mut self,
+        metrics: Option<&'a gretel_obs::PipelineMetrics>,
+    ) -> SnapshotAnalyzer<'a> {
+        self.metrics = metrics;
+        self
+    }
     /// Analyze one prepared snapshot job; pure aside from the borrowed
     /// read-only context, so calls from different threads commute.
     pub fn analyze(&self, job: &SnapshotJob) -> Vec<Diagnosis> {
-        self.analyze_inner(job, None).expect("no deadline, no cancellation")
+        self.analyze_inner(job, JobBudget::Unlimited).expect("unlimited budget never cancels")
     }
 
-    /// [`SnapshotAnalyzer::analyze`] under a per-job budget. A job whose
-    /// analysis exceeds `deadline` is cancelled: the second return value is
-    /// `true` and every fault in the job is surfaced as a
+    /// [`SnapshotAnalyzer::analyze`] under a per-job [`JobBudget`]. A job
+    /// whose analysis exhausts the budget is cancelled: the second return
+    /// value is `true` and every fault in the job is surfaced as a
     /// [`CaptureConfidence::Cancelled`] diagnosis (the fault is reported,
     /// never silently swallowed — but no matching evidence backs it). The
-    /// deadline is checked between per-fault detection passes, so a
+    /// budget is checked between per-fault detection passes, so a
     /// cancelled job stops within one pass of the budget instead of
     /// wedging its worker.
-    pub fn analyze_bounded(
-        &self,
-        job: &SnapshotJob,
-        deadline: std::time::Duration,
-    ) -> (Vec<Diagnosis>, bool) {
-        match self.analyze_inner(job, Some(deadline)) {
+    pub fn analyze_bounded(&self, job: &SnapshotJob, budget: JobBudget) -> (Vec<Diagnosis>, bool) {
+        match self.analyze_inner(job, budget) {
             Some(out) => (out, false),
             None => (self.cancel(job), true),
         }
@@ -600,25 +683,33 @@ impl<'a> SnapshotAnalyzer<'a> {
     }
 
     /// Shared body of [`SnapshotAnalyzer::analyze`] /
-    /// [`SnapshotAnalyzer::analyze_bounded`]; `None` = deadline exceeded.
-    fn analyze_inner(
-        &self,
-        job: &SnapshotJob,
-        deadline: Option<std::time::Duration>,
-    ) -> Option<Vec<Diagnosis>> {
+    /// [`SnapshotAnalyzer::analyze_bounded`]; `None` = budget exhausted.
+    fn analyze_inner(&self, job: &SnapshotJob, budget: JobBudget) -> Option<Vec<Diagnosis>> {
         if job.perf.is_empty() && job.errors.is_empty() {
             return Some(Vec::new()); // clean snapshot: nothing to detect
         }
-        let started = deadline.map(|_| std::time::Instant::now());
-        let over_budget = || match (started, deadline) {
-            (Some(t0), Some(d)) => t0.elapsed() > d,
-            _ => false,
+        // Only a wall-clock budget reads the clock; the deterministic
+        // variants must never touch it (replay-stability).
+        let started = matches!(budget, JobBudget::WallClock(_)).then(std::time::Instant::now);
+        let mut passes: u64 = 0;
+        let mut over_budget = || match budget {
+            JobBudget::Unlimited => false,
+            JobBudget::Passes(n) => {
+                let over = passes >= n;
+                passes += 1;
+                over
+            }
+            JobBudget::WallClock(d) => started.is_some_and(|t0| t0.elapsed() > d),
         };
         let detector = Detector::new(self.lib, self.cfg);
         let snap = &job.snap;
         // One shared O(α) pass; every detection below is sub-linear in the
-        // snapshot after this.
+        // snapshot after this. The index exists to serve subsequence
+        // matching, so its build time is charged to the match stage; the
+        // match event count (operations matched) accrues per fault below.
+        let t_match = gretel_obs::StageTimer::start(self.metrics, gretel_obs::Stage::Match);
         let sidx = SnapshotIndex::new(&snap.events);
+        t_match.finish();
         // Capture quality is a property of the frozen window: any gap
         // marker inside it degrades every diagnosis made from it.
         let confidence = match (snap.gap_markers(), snap.lost_frames()) {
@@ -635,7 +726,13 @@ impl<'a> SnapshotAnalyzer<'a> {
             let Some(idx) = idx else {
                 continue; // anomaly's event already slid out; skip
             };
+            let t = gretel_obs::StageTimer::start(self.metrics, gretel_obs::Stage::Detect);
             let outcome = detector.detect_performance_indexed(&snap.events, &sidx, pf.api);
+            t.finish();
+            if let Some(m) = self.metrics {
+                m.count(gretel_obs::Stage::Detect, 1);
+                m.count(gretel_obs::Stage::Match, outcome.matched.len() as u64);
+            }
             let kind = FaultKind::Performance {
                 observed_ms: pf.anomaly.value / 1000.0,
                 baseline_ms: pf.anomaly.baseline / 1000.0,
@@ -648,7 +745,13 @@ impl<'a> SnapshotAnalyzer<'a> {
                 return None;
             }
             let ev = &snap.events[idx];
+            let t = gretel_obs::StageTimer::start(self.metrics, gretel_obs::Stage::Detect);
             let outcome = detector.detect_operational_indexed(&snap.events, &sidx, idx, ev.api);
+            t.finish();
+            if let Some(m) = self.metrics {
+                m.count(gretel_obs::Stage::Detect, 1);
+                m.count(gretel_obs::Stage::Match, outcome.matched.len() as u64);
+            }
             let kind = match ev.fault {
                 FaultMark::RestError(s) => FaultKind::Operational { status: Some(s), rpc: false },
                 FaultMark::RpcError => FaultKind::Operational { status: None, rpc: true },
@@ -670,6 +773,7 @@ impl<'a> SnapshotAnalyzer<'a> {
     ) -> Diagnosis {
         let root_causes = match &self.rca {
             Some(ctx) => {
+                let t = gretel_obs::StageTimer::start(self.metrics, gretel_obs::Stage::Rca);
                 let engine = RcaEngine::new(ctx.deployment, ctx.telemetry);
                 let matched_specs: Vec<&OperationSpec> = outcome
                     .matched
@@ -679,7 +783,12 @@ impl<'a> SnapshotAnalyzer<'a> {
                 let error_nodes: Vec<NodeId> = vec![fault.src_node, fault.dst_node];
                 let from = events.first().map(|e| e.ts).unwrap_or(0);
                 let until = events.last().map(|e| e.ts + 1).unwrap_or(1);
-                engine.analyze(&matched_specs, &error_nodes, from, until)
+                let causes = engine.analyze(&matched_specs, &error_nodes, from, until);
+                t.finish();
+                if let Some(m) = self.metrics {
+                    m.count(gretel_obs::Stage::Rca, 1);
+                }
+                causes
             }
             None => Vec::new(),
         };
@@ -1042,7 +1151,7 @@ mod tests {
     }
 
     #[test]
-    fn bounded_analysis_cancels_past_deadline() {
+    fn bounded_analysis_cancels_past_budget() {
         let (cat, dep, specs, lib) = setup();
         let ports_post = cat.rest_expect(Service::Neutron, HttpMethod::Post, "/v2.0/ports.json");
         let plan = FaultPlan::none().with_api_fault(ApiFault {
@@ -1067,19 +1176,43 @@ mod tests {
             .expect("faulted run produces jobs");
         let sa = analyzer.snapshot_analyzer();
 
-        // A generous deadline completes normally…
-        let (full, cancelled) = sa.analyze_bounded(job, std::time::Duration::from_secs(60));
+        // An unlimited budget completes normally…
+        let (full, cancelled) = sa.analyze_bounded(job, JobBudget::Unlimited);
         assert!(!cancelled);
         assert_eq!(full, sa.analyze(job));
 
-        // …a zero deadline cancels, but every fault still surfaces —
+        // …as does a pass budget large enough for every fault in the job…
+        let (full2, cancelled) = sa.analyze_bounded(job, JobBudget::Passes(1 << 20));
+        assert!(!cancelled);
+        assert_eq!(full2, full);
+
+        // …but a zero-pass budget cancels, and every fault still surfaces —
         // honestly marked, never as Exact.
-        let (out, cancelled) = sa.analyze_bounded(job, std::time::Duration::ZERO);
+        let (out, cancelled) = sa.analyze_bounded(job, JobBudget::Passes(0));
         assert!(cancelled);
         assert!(!out.is_empty(), "cancelled job still reports its faults");
         for d in &out {
             assert_eq!(d.confidence, CaptureConfidence::Cancelled);
             assert!(d.matched.is_empty() && d.root_causes.is_empty());
         }
+
+        // Regression: cancellation under a deterministic budget is a pure
+        // function of the job — repeated runs agree bit-for-bit, which the
+        // old Instant-based deadline could not guarantee.
+        for budget in [JobBudget::Passes(0), JobBudget::Passes(1), JobBudget::Passes(2)] {
+            let a = sa.analyze_bounded(job, budget);
+            let b = sa.analyze_bounded(job, budget);
+            assert_eq!(a, b, "budget {budget:?} must be replay-stable");
+        }
+
+        // The wall-clock variant still exists for best-effort pipelines but
+        // self-reports as non-deterministic.
+        assert!(!JobBudget::WallClock(std::time::Duration::ZERO).is_deterministic());
+        assert!(JobBudget::Unlimited.is_deterministic());
+        assert!(JobBudget::Passes(7).is_deterministic());
+        let (out, cancelled) =
+            sa.analyze_bounded(job, JobBudget::WallClock(std::time::Duration::ZERO));
+        assert!(cancelled);
+        assert!(out.iter().all(|d| d.confidence == CaptureConfidence::Cancelled));
     }
 }

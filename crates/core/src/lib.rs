@@ -35,11 +35,12 @@ pub mod perf;
 pub mod rca;
 pub mod recover;
 pub mod report;
+pub mod selfwatch;
 pub mod service;
 pub mod window;
 
 pub use analyzer::{
-    analyze_stream, Analyzer, AnalyzerStats, RcaContext, SnapshotAnalyzer, SnapshotJob,
+    analyze_stream, Analyzer, AnalyzerStats, JobBudget, RcaContext, SnapshotAnalyzer, SnapshotJob,
 };
 pub use anomaly::{scan_rest_error, scan_rpc_error, LatencyObs, LatencyPairer};
 pub use checkpoint::{CheckpointError, Journal};
@@ -57,6 +58,7 @@ pub use perf::{PerfFault, PerfMonitor};
 pub use rca::{CauseKind, RcaEngine, RootCause};
 pub use recover::{run_service_recoverable, AnalyzerChaos, RecoveryConfig, RecoveryStats};
 pub use report::{CaptureConfidence, Diagnosis, FaultKind};
+pub use selfwatch::{self_watch_api, self_watch_stage, SelfWatch, SELF_WATCH_API_BASE};
 pub use service::{
     run_service, run_service_cfg, run_service_checked, run_service_sharded, BackpressurePolicy,
     ServiceConfig, ServiceError, ServiceStats,

@@ -24,7 +24,7 @@
 //!   left off. Diagnoses are *output-committed*: released only when the
 //!   checkpoint that makes them unrepeatable is on the journal, so a crash
 //!   can neither lose nor duplicate a diagnosis.
-//! * **Deadlines** — snapshot analysis runs under a per-job budget
+//! * **Budgets** — snapshot analysis runs under a per-job budget
 //!   ([`SnapshotAnalyzer::analyze_bounded`]); a stalled job is cancelled
 //!   and reported, never allowed to wedge its worker.
 //!
@@ -33,7 +33,7 @@
 //! jobs, and corrupts checkpoint records, each decision a pure function of
 //! `(seed, job, attempt)` so every run is reproducible.
 
-use crate::analyzer::{Analyzer, AnalyzerStats, SnapshotAnalyzer, SnapshotJob};
+use crate::analyzer::{Analyzer, AnalyzerStats, JobBudget, SnapshotAnalyzer, SnapshotJob};
 use crate::checkpoint::{codec, Journal};
 use crate::report::Diagnosis;
 use crate::service::{ship_frames, BackpressurePolicy, ServiceConfig, ServiceError, ServiceStats};
@@ -61,7 +61,7 @@ pub struct AnalyzerChaos {
     /// default 2, a job can crash its worker at attempts 0 and 1 and then
     /// completes normally at attempt 2.
     pub kill_attempts: u32,
-    /// Probability that a job stalls past its deadline and is cancelled.
+    /// Probability that a job stalls past its budget and is cancelled.
     pub stall_prob: f64,
     /// Probability that a checkpoint record is corrupted on the journal
     /// (flipping one payload byte), forcing restore to fall back to an
@@ -139,8 +139,13 @@ pub struct RecoveryConfig {
     pub service: ServiceConfig,
     /// Checkpoint the full ingest state every this many merged messages.
     pub checkpoint_every: u64,
-    /// Per-job analysis budget; a job exceeding it is cancelled.
-    pub deadline: Duration,
+    /// Per-job analysis budget; a job exhausting it is cancelled. Must be
+    /// deterministic ([`JobBudget::is_deterministic`]): a wall-clock
+    /// budget could cancel different jobs on replay than in the original
+    /// run, breaking byte-identical recovery —
+    /// [`run_service_recoverable`] rejects it with
+    /// [`ServiceError::NondeterministicBudget`].
+    pub budget: JobBudget,
     /// Seeded analysis-plane fault injection.
     pub chaos: AnalyzerChaos,
     /// Give up on a job after this many attempts; the abandoned job's
@@ -160,7 +165,9 @@ impl Default for RecoveryConfig {
         RecoveryConfig {
             service: ServiceConfig::default(),
             checkpoint_every: 256,
-            deadline: Duration::from_secs(5),
+            // Orders of magnitude above any real job's pass count, yet a
+            // pure function of the job — replay-stable by construction.
+            budget: JobBudget::Passes(1 << 20),
             chaos: AnalyzerChaos::none(),
             max_attempts: 5,
             crash_points: Vec::new(),
@@ -176,7 +183,7 @@ pub struct RecoveryStats {
     pub worker_crashes: u64,
     /// In-flight jobs requeued after their worker crashed.
     pub jobs_requeued: u64,
-    /// Jobs cancelled — deadline exceeded or retry budget exhausted —
+    /// Jobs cancelled — analysis budget exhausted or retry budget spent —
     /// and surfaced as `Cancelled` diagnoses.
     pub jobs_cancelled: u64,
     /// Checkpoint records appended to the journal.
@@ -305,7 +312,7 @@ struct Pool<'sc, 'env> {
     crash_rx: Receiver<JobMsg>,
     sa: SnapshotAnalyzer<'env>,
     chaos: AnalyzerChaos,
-    deadline: Duration,
+    budget: JobBudget,
     max_attempts: u32,
     /// Jobs submitted but not yet resolved into `pending`.
     outstanding: usize,
@@ -322,7 +329,7 @@ impl<'sc, 'env> Pool<'sc, 'env> {
         let crash_tx = self.crash_tx.clone();
         let sa = self.sa;
         let chaos = self.chaos;
-        let deadline = self.deadline;
+        let budget = self.budget;
         self.scope.spawn(move || {
             while let Ok((seq, attempt, job)) = job_rx.recv() {
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -330,9 +337,11 @@ impl<'sc, 'env> Pool<'sc, 'env> {
                         std::panic::resume_unwind(Box::new(ChaosKill));
                     }
                     // A stalled job is modeled as one whose budget is
-                    // already gone: analyze_bounded cancels it.
-                    let dl = if chaos.stall(seq, attempt) { Duration::ZERO } else { deadline };
-                    sa.analyze_bounded(&job, dl)
+                    // already gone: analyze_bounded cancels it. Zero
+                    // passes, not a zero duration — the stall coin is
+                    // seeded, so the cancellation replays identically.
+                    let b = if chaos.stall(seq, attempt) { JobBudget::Passes(0) } else { budget };
+                    sa.analyze_bounded(&job, b)
                 }));
                 match outcome {
                     Ok((ds, cancelled)) => {
@@ -448,7 +457,7 @@ enum CycleEnd {
 /// [`run_service_cfg`](crate::service::run_service_cfg) hardened against
 /// analysis-plane failure: supervised workers, periodic checkpoints to an
 /// in-memory [`Journal`], deterministic replay after scheduled crashes,
-/// and per-job deadlines. Returns the committed diagnoses (exactly-once:
+/// and per-job budgets. Returns the committed diagnoses (exactly-once:
 /// replay can neither lose nor duplicate one) plus transport, analyzer,
 /// and recovery statistics.
 ///
@@ -472,6 +481,12 @@ pub fn run_service_recoverable(
     if cfg.service.backpressure == BackpressurePolicy::DropOldest {
         return Err(ServiceError::UnsupportedBackpressure);
     }
+    // A wall-clock budget cancels by machine speed, not job content;
+    // replay after a crash could then diverge from the original run.
+    if !cfg.budget.is_deterministic() {
+        return Err(ServiceError::NondeterministicBudget);
+    }
+    let metrics = cfg.service.metrics.as_deref();
     // Replay needs sequence numbers to dedup the re-shipped prefix.
     let mut service_cfg = cfg.service.clone();
     if service_cfg.impairment.is_none() {
@@ -520,7 +535,7 @@ pub fn run_service_recoverable(
 
         // ---- One cycle --------------------------------------------------
         let workers = service_cfg.effective_workers();
-        let snapshot_analyzer = analyzer.snapshot_analyzer();
+        let snapshot_analyzer = analyzer.snapshot_analyzer().with_metrics(metrics);
         let (job_tx, job_rx) = bounded::<JobMsg>(service_cfg.channel_capacity);
         let (res_tx, res_rx) = unbounded::<ResMsg>();
         let (crash_tx, crash_rx) = unbounded::<JobMsg>();
@@ -537,7 +552,7 @@ pub fn run_service_recoverable(
                 crash_rx,
                 sa: snapshot_analyzer,
                 chaos: cfg.chaos,
-                deadline: cfg.deadline,
+                budget: cfg.budget,
                 max_attempts: cfg.max_attempts,
                 outstanding: 0,
                 pending: BTreeMap::new(),
@@ -578,6 +593,8 @@ pub fn run_service_recoverable(
             // duplicates.
             let mut commit =
                 |pool: &mut Pool<'_, '_>, up_to: u64, stats: &mut RecoveryStats| {
+                    let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Commit);
+                    let mut released = 0u64;
                     while let Some((&seq, _)) = pool.pending.first_key_value() {
                         if seq >= up_to {
                             break;
@@ -591,9 +608,14 @@ pub fn run_service_recoverable(
                         if cancelled {
                             stats.jobs_cancelled += 1;
                         }
+                        released += ds.len() as u64;
                         committed.insert(seq, ds);
                     }
                     released_watermark = released_watermark.max(up_to);
+                    t.finish();
+                    if let Some(m) = metrics {
+                        m.count(gretel_obs::Stage::Commit, released);
+                    }
                 };
 
             let mut seq = next_seq_start;
@@ -629,7 +651,13 @@ pub fn run_service_recoverable(
                 if gap > 0 {
                     analyzer.note_capture_gap(gap);
                 }
-                for job in analyzer.ingest(&msg) {
+                let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Ingest);
+                let jobs = analyzer.ingest_observed(&msg, metrics);
+                t.finish();
+                if let Some(m) = metrics {
+                    m.count(gretel_obs::Stage::Ingest, 1);
+                }
+                for job in jobs {
                     pool.submit(seq, job)?;
                     seq += 1;
                 }
@@ -641,10 +669,17 @@ pub fn run_service_recoverable(
                     // once the state that makes replay skip them is on the
                     // journal.
                     pool.quiesce()?;
+                    let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Checkpoint);
                     let astate =
                         analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
                     let payload = encode_checkpoint(&astate, seq, &streams);
                     journal.append(KIND_CHECKPOINT, &payload);
+                    t.finish();
+                    if let Some(m) = metrics {
+                        m.count(gretel_obs::Stage::Checkpoint, 1);
+                        m.add(gretel_obs::Meter::CheckpointsWritten, 1);
+                        m.add(gretel_obs::Meter::CheckpointBytes, payload.len() as u64);
+                    }
                     stats.checkpoints_written += 1;
                     if let Some(byte) = cfg.chaos.corrupt(ckpt_index) {
                         let (valid, _) = journal.record_counts();
@@ -658,7 +693,7 @@ pub fn run_service_recoverable(
             }
 
             if !crashed {
-                for job in analyzer.finish_jobs() {
+                for job in analyzer.finish_jobs_observed(metrics) {
                     pool.submit(seq, job)?;
                     seq += 1;
                 }
@@ -691,6 +726,13 @@ pub fn run_service_recoverable(
             CycleEnd::Completed => break,
             CycleEnd::Crashed => continue,
         }
+    }
+
+    // One end-of-run flush of the merged capture picture. Replay inflates
+    // these like it inflates `ServiceStats` (documented above): the meters
+    // describe what the transport actually did, crashes included.
+    if let Some(m) = metrics {
+        service_stats.capture.record_into(m);
     }
 
     let diagnoses = committed.into_values().flatten().collect();

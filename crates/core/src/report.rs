@@ -48,7 +48,7 @@ pub enum CaptureConfidence {
         /// Total frames inferred lost inside the window.
         lost: u32,
     },
-    /// Snapshot analysis exceeded its per-job deadline and was cancelled:
+    /// Snapshot analysis exhausted its per-job budget and was cancelled:
     /// the fault is reported (never silently swallowed) but no matching or
     /// root-cause evidence backs it.
     Cancelled,
@@ -133,7 +133,7 @@ impl Diagnosis {
             }
             CaptureConfidence::Cancelled => {
                 out.push_str(
-                    "  analysis CANCELLED: per-job deadline exceeded; no matching evidence\n",
+                    "  analysis CANCELLED: per-job budget exhausted; no matching evidence\n",
                 );
             }
         }

@@ -46,6 +46,12 @@ pub enum ServiceError {
     NotCheckpointable,
     /// A checkpoint journal failed to restore.
     Checkpoint(CheckpointError),
+    /// The requested recovery configuration uses a wall-clock analysis
+    /// budget ([`crate::JobBudget::WallClock`]), whose cancellation
+    /// decisions depend on machine speed — replay after a crash could
+    /// diverge from the original run. Use a deterministic budget
+    /// ([`crate::JobBudget::Passes`] or [`crate::JobBudget::Unlimited`]).
+    NondeterministicBudget,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -62,6 +68,9 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "analyzer state is not serializable (opaque plug-in perf detector)")
             }
             ServiceError::Checkpoint(e) => write!(f, "checkpoint restore failed: {e}"),
+            ServiceError::NondeterministicBudget => {
+                write!(f, "recovery requires a deterministic analysis budget (JobBudget::WallClock cannot be replayed identically)")
+            }
         }
     }
 }
@@ -155,6 +164,12 @@ pub struct ServiceConfig {
     /// Receiver-side resequencer depth: how many out-of-order frames to
     /// park per agent before force-advancing past a hole.
     pub resequence_depth: usize,
+    /// Optional pipeline metrics registry: stage event counts and
+    /// latencies, capture meters, and queue-depth gauges flow into it from
+    /// every thread of the pipeline. `None` (the default) and
+    /// [`gretel_obs::PipelineMetrics::disabled`] both leave the hot path
+    /// untouched; metrics never influence the diagnoses.
+    pub metrics: Option<std::sync::Arc<gretel_obs::PipelineMetrics>>,
 }
 
 impl Default for ServiceConfig {
@@ -165,6 +180,7 @@ impl Default for ServiceConfig {
             backpressure: BackpressurePolicy::Block,
             impairment: None,
             resequence_depth: 32,
+            metrics: None,
         }
     }
 }
@@ -249,6 +265,7 @@ impl AgentStream {
         &mut self,
         rx: &Receiver<Bytes>,
         stats: &mut ServiceStats,
+        metrics: Option<&gretel_obs::PipelineMetrics>,
     ) -> Result<(), ServiceError> {
         while self.ready.is_empty() && !self.done {
             match rx.recv() {
@@ -257,7 +274,17 @@ impl AgentStream {
                     stats.bytes += frame.len() as u64;
                     let (msg, seq) = decode_one_seq(&frame)?;
                     match &mut self.reseq {
-                        Some(r) => self.ready.extend(r.push(seq, msg)),
+                        Some(r) => {
+                            let t = gretel_obs::StageTimer::start(
+                                metrics,
+                                gretel_obs::Stage::Resequence,
+                            );
+                            self.ready.extend(r.push(seq, msg));
+                            t.finish();
+                            if let Some(m) = metrics {
+                                m.count(gretel_obs::Stage::Resequence, 1);
+                            }
+                        }
                         None => self.ready.push_back((0, msg)),
                     }
                 }
@@ -364,10 +391,11 @@ pub fn run_service_checked(
     assert!(cfg.channel_capacity > 0);
     let workers = cfg.effective_workers();
     let sequenced = cfg.sequenced();
+    let metrics = cfg.metrics.as_deref();
     let mut service_stats = ServiceStats::default();
     let mut diagnoses = Vec::new();
 
-    let snapshot_analyzer = analyzer.snapshot_analyzer();
+    let snapshot_analyzer = analyzer.snapshot_analyzer().with_metrics(metrics);
     let (job_tx, job_rx) = bounded::<(u64, SnapshotJob)>(cfg.channel_capacity);
     // Results are unbounded: the collector drains only after the merge
     // loop finishes, so a bounded link could wedge the pool (workers
@@ -449,7 +477,7 @@ pub fn run_service_checked(
             })
             .collect();
         for (st, rx) in streams.iter_mut().zip(&rxs) {
-            st.refill(rx, &mut service_stats)?;
+            st.refill(rx, &mut service_stats, metrics)?;
         }
         loop {
             let mut best: Option<usize> = None;
@@ -469,15 +497,24 @@ pub fn run_service_checked(
             }
             let Some(i) = best else { break };
             let (gap, msg) = streams[i].ready.pop_front().expect("chosen head is nonempty");
-            streams[i].refill(&rxs[i], &mut service_stats)?;
+            streams[i].refill(&rxs[i], &mut service_stats, metrics)?;
             if gap > 0 {
                 analyzer.note_capture_gap(gap);
             }
-            for job in analyzer.ingest(&msg) {
+            let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Ingest);
+            let jobs = analyzer.ingest_observed(&msg, metrics);
+            t.finish();
+            if let Some(m) = metrics {
+                m.count(gretel_obs::Stage::Ingest, 1);
+            }
+            for job in jobs {
                 if job_tx.send((seq, job)).is_err() {
                     return Err(ServiceError::PoolDisconnected);
                 }
                 seq += 1;
+                if let Some(m) = metrics {
+                    m.record_max(gretel_obs::Meter::JobQueueDepthMax, job_tx.len() as u64);
+                }
             }
         }
         for st in &streams {
@@ -485,7 +522,7 @@ pub fn run_service_checked(
                 service_stats.capture.merge(&r.stats());
             }
         }
-        for job in analyzer.finish_jobs() {
+        for job in analyzer.finish_jobs_observed(metrics) {
             if job_tx.send((seq, job)).is_err() {
                 return Err(ServiceError::PoolDisconnected);
             }
@@ -507,12 +544,24 @@ pub fn run_service_checked(
         while let Ok(r) = res_rx.recv() {
             results.push(r);
         }
+        let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Commit);
         results.sort_by_key(|&(s, _)| s);
         for (_, ds) in results {
             diagnoses.extend(ds);
         }
+        t.finish();
+        if let Some(m) = metrics {
+            m.count(gretel_obs::Stage::Commit, diagnoses.len() as u64);
+        }
         Ok(())
     })?;
+
+    // One end-of-run flush: by now both halves of the capture picture
+    // (injector counters, receiver inference) are merged.
+    if let Some(m) = metrics {
+        service_stats.capture.record_into(m);
+        m.add(gretel_obs::Meter::BackpressureDrops, service_stats.backpressure_drops);
+    }
 
     let analyzer_stats = analyzer.stats();
     Ok((diagnoses, service_stats, analyzer_stats))
@@ -649,6 +698,49 @@ mod tests {
         let exec = Runner::new(cat, &dep, &plan, RunConfig { seed, ..Default::default() })
             .run(&refs);
         (lib, dep, exec.messages)
+    }
+
+    #[test]
+    fn metrics_observe_the_pipeline_without_perturbing_it() {
+        use gretel_obs::{Meter, PipelineMetrics, Stage};
+        let (lib, dep, messages) = faulted_execution(2);
+        let gcfg = GretelConfig { alpha: 64, ..GretelConfig::default() };
+        let nodes: Vec<NodeId> = dep.nodes().iter().map(|n| n.id).collect();
+
+        let mut plain = Analyzer::new(&lib, gcfg);
+        let (expected, _, _) = run_service(&mut plain, &nodes, &messages, 64);
+
+        for enabled in [false, true] {
+            let metrics = std::sync::Arc::new(if enabled {
+                PipelineMetrics::enabled()
+            } else {
+                PipelineMetrics::disabled()
+            });
+            let cfg = ServiceConfig {
+                impairment: Some(CaptureImpairment::none()),
+                metrics: Some(metrics.clone()),
+                ..ServiceConfig::default()
+            };
+            let mut observed = Analyzer::new(&lib, gcfg);
+            let (got, svc, astats) = run_service_cfg(&mut observed, &nodes, &messages, &cfg);
+            assert_eq!(got, expected, "metrics (enabled={enabled}) must not change diagnoses");
+
+            if !enabled {
+                assert_eq!(metrics.stage_events(Stage::Ingest), 0, "disabled registry records nothing");
+                continue;
+            }
+            // Stage events line up with the run's own accounting.
+            assert_eq!(metrics.stage_events(Stage::Ingest), astats.messages);
+            assert_eq!(metrics.stage_events(Stage::Resequence), svc.frames);
+            assert_eq!(metrics.stage_events(Stage::Window), astats.snapshots);
+            assert_eq!(metrics.stage_events(Stage::Commit), got.len() as u64);
+            assert!(metrics.stage_events(Stage::Detect) > 0, "faulted run detects");
+            assert_eq!(metrics.meter(Meter::CaptureFrames), svc.capture.frames);
+            assert_eq!(metrics.meter(Meter::BackpressureDrops), 0);
+            // Latency histograms saw one sample per counted event.
+            assert_eq!(metrics.stage_latency(Stage::Ingest).count, astats.messages);
+            assert!(metrics.stage_latency(Stage::Detect).max_us >= metrics.stage_latency(Stage::Detect).p50_us);
+        }
     }
 
     #[test]

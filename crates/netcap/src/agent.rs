@@ -666,16 +666,36 @@ impl Resequencer {
         self.stats
     }
 
+    /// Flow this resequencer's counters into a pipeline metrics registry
+    /// (see [`CaptureStats::record_into`]). Call once at end of stream —
+    /// the registry's meters are cumulative, so flushing mid-stream and
+    /// again at the end would double-count.
+    pub fn record_stats_into(&self, m: &gretel_obs::PipelineMetrics) {
+        self.stats.record_into(m);
+    }
+
     fn force_advance(&mut self, out: &mut Vec<(u32, Message)>) {
-        let Some((seq, msg)) = self.pending.pop_first() else { return };
-        let gap = seq - self.next;
-        if gap > 0 {
-            self.stats.gaps += 1;
-            self.stats.lost += gap;
+        // Stale entries (seq < next) cannot arise from `push`, which
+        // discards them on arrival — but a parked frame restored from a
+        // checkpoint taken by older code, or any future caller invariant
+        // slip, would make `seq - self.next` underflow into a ~u64::MAX
+        // gap (a debug-build panic). Discard them as late duplicates
+        // instead of advancing.
+        while let Some((seq, msg)) = self.pending.pop_first() {
+            if seq < self.next {
+                self.stats.dup_discarded += 1;
+                continue;
+            }
+            let gap = seq - self.next;
+            if gap > 0 {
+                self.stats.gaps += 1;
+                self.stats.lost += gap;
+            }
+            self.next = seq + 1;
+            out.push((gap as u32, msg));
+            self.drain_ready(out);
+            return;
         }
-        self.next = seq + 1;
-        out.push((gap as u32, msg));
-        self.drain_ready(out);
     }
 
     fn drain_ready(&mut self, out: &mut Vec<(u32, Message)>) {
@@ -988,6 +1008,66 @@ mod impairment_tests {
         // matches.
         assert_eq!(restored.stats().lost, uninterrupted.stats().lost);
         assert_eq!(restored.stats().gaps, uninterrupted.stats().gaps);
+    }
+
+    /// Hand-build [`Resequencer::export_state`] bytes with arbitrary
+    /// `next` / pending entries (including invariant-violating ones no
+    /// live push sequence can produce).
+    fn crafted_state(next: u64, depth: u64, pending: &[(u64, Message)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&next.to_le_bytes());
+        out.extend_from_slice(&depth.to_le_bytes());
+        for _ in 0..8 {
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+        out.extend_from_slice(&(pending.len() as u32).to_le_bytes());
+        for (seq, m) in pending {
+            let enc = frame::encode(m);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&(enc.len() as u32).to_le_bytes());
+            out.extend_from_slice(&enc);
+        }
+        out
+    }
+
+    #[test]
+    fn resequencer_force_advance_discards_stale_pending_seq() {
+        // Regression: a pending entry below the delivery position (here
+        // via a restored checkpoint from a foreign writer; any caller
+        // invariant slip reaches the same code) made `seq - self.next`
+        // underflow in force_advance — a debug panic, or a ~u64::MAX
+        // gap/lost count in release. It must be discarded as a late
+        // duplicate instead.
+        let state = crafted_state(5, 8, &[(2, msg(2)), (7, msg(7))]);
+        let mut rsq = Resequencer::restore_state(&state).unwrap();
+        let got = rsq.flush();
+        let seqs: Vec<u64> = got.iter().map(|(_, m)| m.id.0).collect();
+        assert_eq!(seqs, vec![7], "stale seq 2 is not re-delivered");
+        assert_eq!(got[0].0, 2, "only the true hole (seqs 5, 6) is a gap");
+        assert_eq!(rsq.stats().dup_discarded, 1);
+        assert_eq!(rsq.stats().gaps, 1);
+        assert_eq!(rsq.stats().lost, 2);
+    }
+
+    #[test]
+    fn resequencer_dup_after_forced_advance_is_discarded() {
+        // A late duplicate arriving *after* a forced advance past a hole:
+        // its seq is below the (jumped) delivery position and must be
+        // counted as a duplicate, never turned into gap accounting.
+        let mut rsq = Resequencer::new(1);
+        let mut got = Vec::new();
+        got.extend(rsq.push(Some(0), msg(0)));
+        got.extend(rsq.push(Some(5), msg(5))); // parks
+        got.extend(rsq.push(Some(7), msg(7))); // over depth → force-advance to 5
+        got.extend(rsq.push(Some(3), msg(3))); // late dup of the skipped hole
+        got.extend(rsq.push(Some(6), msg(6))); // fills up to parked 7
+        let seqs: Vec<u64> = got.iter().map(|(_, m)| m.id.0).collect();
+        assert_eq!(seqs, vec![0, 5, 6, 7]);
+        let gaps: Vec<u32> = got.iter().map(|(gap, _)| *gap).collect();
+        assert_eq!(gaps, vec![0, 4, 0, 0]);
+        assert_eq!(rsq.stats().dup_discarded, 1);
+        assert_eq!(rsq.stats().gaps, 1);
+        assert_eq!(rsq.stats().lost, 4);
     }
 
     #[test]

@@ -51,6 +51,22 @@ impl CaptureStats {
         self.dup_discarded += other.dup_discarded;
     }
 
+    /// Flow these counters into a pipeline metrics registry (one
+    /// [`gretel_obs::Meter`] per field). Counters are cumulative adds, so
+    /// recording a merged end-of-run picture and recording the halves
+    /// separately land on the same totals.
+    pub fn record_into(&self, m: &gretel_obs::PipelineMetrics) {
+        use gretel_obs::Meter;
+        m.add(Meter::CaptureFrames, self.frames);
+        m.add(Meter::CaptureDropped, self.dropped);
+        m.add(Meter::CaptureDuplicated, self.duplicated);
+        m.add(Meter::CaptureReordered, self.reordered);
+        m.add(Meter::CaptureStalled, self.stalled);
+        m.add(Meter::CaptureGaps, self.gaps);
+        m.add(Meter::CaptureLost, self.lost);
+        m.add(Meter::CaptureDupDiscarded, self.dup_discarded);
+    }
+
     /// True when no impairment or loss was observed at all.
     pub fn is_clean(&self) -> bool {
         let CaptureStats { frames: _, dropped, duplicated, reordered, stalled, gaps, lost, dup_discarded } =
@@ -122,23 +138,33 @@ impl ThroughputMeter {
         self.bytes
     }
 
-    /// Messages per second.
+    /// Smallest elapsed time a rate may be computed over. Below this the
+    /// division amplifies clock granularity into absurd (up to
+    /// effectively infinite) rates — a meter queried right after
+    /// construction, or stopped before any work, must report 0 instead.
+    const MIN_RATE_ELAPSED: Duration = Duration::from_micros(1);
+
+    /// Elapsed seconds if long enough to divide by, else `None`.
+    /// Factored out of [`ThroughputMeter::mps`] / [`ThroughputMeter::mbps`]
+    /// so the guard itself is unit-testable without racing the clock.
+    fn rate_secs(elapsed: Duration) -> Option<f64> {
+        (elapsed >= Self::MIN_RATE_ELAPSED).then_some(elapsed.as_secs_f64())
+    }
+
+    /// Messages per second; 0 until at least a microsecond has elapsed.
     pub fn mps(&self) -> f64 {
-        let secs = self.elapsed().as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.messages as f64 / secs
+        match Self::rate_secs(self.elapsed()) {
+            Some(secs) => self.messages as f64 / secs,
+            None => 0.0,
         }
     }
 
-    /// Megabits per second over the recorded bytes.
+    /// Megabits per second over the recorded bytes; 0 until at least a
+    /// microsecond has elapsed.
     pub fn mbps(&self) -> f64 {
-        let secs = self.elapsed().as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            (self.bytes as f64 * 8.0) / (secs * 1_000_000.0)
+        match Self::rate_secs(self.elapsed()) {
+            Some(secs) => (self.bytes as f64 * 8.0) / (secs * 1_000_000.0),
+            None => 0.0,
         }
     }
 }
@@ -158,6 +184,32 @@ mod tests {
         assert_eq!(a.lost, 3);
         assert!(!a.is_clean());
         assert!(CaptureStats { frames: 100, ..Default::default() }.is_clean());
+    }
+
+    #[test]
+    fn record_into_flows_every_field() {
+        use gretel_obs::{Meter, PipelineMetrics};
+        let m = PipelineMetrics::enabled();
+        let s = CaptureStats {
+            frames: 10,
+            dropped: 1,
+            duplicated: 2,
+            reordered: 3,
+            stalled: 4,
+            gaps: 5,
+            lost: 6,
+            dup_discarded: 7,
+        };
+        s.record_into(&m);
+        s.record_into(&m); // cumulative: a second flush adds, not replaces
+        assert_eq!(m.meter(Meter::CaptureFrames), 20);
+        assert_eq!(m.meter(Meter::CaptureDropped), 2);
+        assert_eq!(m.meter(Meter::CaptureDuplicated), 4);
+        assert_eq!(m.meter(Meter::CaptureReordered), 6);
+        assert_eq!(m.meter(Meter::CaptureStalled), 8);
+        assert_eq!(m.meter(Meter::CaptureGaps), 10);
+        assert_eq!(m.meter(Meter::CaptureLost), 12);
+        assert_eq!(m.meter(Meter::CaptureDupDiscarded), 14);
     }
 
     #[test]
@@ -189,6 +241,38 @@ mod tests {
         let e1 = m.elapsed();
         std::thread::sleep(Duration::from_millis(3));
         assert_eq!(m.elapsed(), e1);
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let mut m = ThroughputMeter::new();
+        m.record(100);
+        m.stop();
+        let e1 = m.elapsed();
+        std::thread::sleep(Duration::from_millis(2));
+        m.stop(); // must keep the first freeze, not restamp
+        assert_eq!(m.elapsed(), e1);
+        assert_eq!(m.messages(), 1);
+    }
+
+    #[test]
+    fn sub_microsecond_elapsed_reports_zero_rates() {
+        // Regression: a meter queried right after construction divided
+        // recorded counts by a few nanoseconds of elapsed time, reporting
+        // absurd rates (2·10^10 msgs/s here). Freeze a 50ns elapsed by
+        // construction so the test cannot race the clock.
+        let m = ThroughputMeter {
+            started: Instant::now(),
+            messages: 1_000,
+            bytes: 1_000_000,
+            stopped: Some(Duration::from_nanos(50)),
+        };
+        assert_eq!(m.mps(), 0.0);
+        assert_eq!(m.mbps(), 0.0);
+        // The guard boundary: exactly 1µs is long enough.
+        assert_eq!(ThroughputMeter::rate_secs(Duration::from_nanos(999)), None);
+        let secs = ThroughputMeter::rate_secs(Duration::from_micros(1)).expect("1µs computes");
+        assert!((secs - 1e-6).abs() < 1e-12);
     }
 
     #[test]

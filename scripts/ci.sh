@@ -17,9 +17,15 @@ cargo clippy --offline --all-targets -- -D warnings
 # lost/duplicated and byte-identical output (see EXPERIMENTS.md).
 cargo run --release --offline -q -p gretel-bench --bin recovery -- --smoke
 
+# Observability smoke: one §7.2 scenario with metrics off/disabled/enabled;
+# asserts identical diagnoses, deterministic snapshots, export round trips
+# and the instrumentation overhead gate (see EXPERIMENTS.md).
+cargo run --release --offline -q -p gretel-bench --bin observability -- --smoke
+
 # Rustdoc must stay warning-free for the first-party crates, and the
 # runnable doc-examples are part of the test surface.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline \
   -p gretel -p gretel-core -p gretel-model -p gretel-netcap \
-  -p gretel-sim -p gretel-telemetry -p gretel-bench -p gretel-hansel
+  -p gretel-sim -p gretel-telemetry -p gretel-bench -p gretel-hansel \
+  -p gretel-obs
 cargo test -q --offline --doc --workspace

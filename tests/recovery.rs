@@ -4,13 +4,14 @@
 //! analysis plane suffers — killed workers, service crashes with
 //! checkpoint/replay restarts, corrupted checkpoint records — the
 //! committed diagnosis stream is byte-identical to the uninterrupted
-//! run's, with zero diagnoses lost and zero duplicated. Deadline
+//! run's, with zero diagnoses lost and zero duplicated. Budget
 //! cancellation is the one visible degradation, and it must be honest:
-//! a cancelled job's faults surface as `Cancelled`, never as `Exact`.
+//! a cancelled job's faults surface as `Cancelled`, never as `Exact` —
+//! and, since budgets are deterministic, identically across replays.
 
 use gretel::core::{
     run_service_cfg, run_service_recoverable, Analyzer, AnalyzerChaos, CaptureConfidence,
-    GretelConfig, RecoveryConfig, ServiceConfig,
+    GretelConfig, JobBudget, RecoveryConfig, ServiceConfig, ServiceError,
 };
 use gretel::model::{
     Catalog, HttpMethod, Message, NodeId, OpSpecId, OperationSpec, Service, Workflows,
@@ -138,7 +139,7 @@ fn stalled_jobs_are_cancelled_never_exact() {
 
     let cfg = RecoveryConfig {
         checkpoint_every: 64,
-        deadline: Duration::from_secs(5),
+        budget: JobBudget::Passes(1 << 20),
         chaos: AnalyzerChaos { stall_prob: 1.0, seed: 23, ..AnalyzerChaos::none() },
         ..RecoveryConfig::default()
     };
@@ -149,13 +150,61 @@ fn stalled_jobs_are_cancelled_never_exact() {
 
     assert!(rec.jobs_cancelled > 0, "stall chaos fired: {rec:?}");
     // Honesty: every fault still surfaces, each marked Cancelled — a
-    // deadline-cancelled job must never report Exact (or Degraded) since
+    // budget-cancelled job must never report Exact (or Degraded) since
     // no matching evidence backs it.
     assert_eq!(diags.len(), expected.len(), "no fault silently swallowed");
     for d in &diags {
         assert_eq!(d.confidence, CaptureConfidence::Cancelled, "{d:?}");
         assert!(d.matched.is_empty() && d.root_causes.is_empty());
     }
+}
+
+#[test]
+fn budget_cancellations_replay_identically_across_crashes() {
+    // Regression: the per-job bound used to be a wall-clock deadline read
+    // from `Instant::now()`, so a replayed run could cancel a different
+    // set of jobs than the original — breaking the byte-identical
+    // recovery oracle. A pass budget is a pure function of the job, so a
+    // run that cancels everything must commit the *same* stream whether
+    // or not the service crashed and replayed in the middle.
+    let fx = fixture();
+
+    let run = |crash_points: Vec<u64>| {
+        let cfg = RecoveryConfig {
+            checkpoint_every: 64,
+            budget: JobBudget::Passes(0),
+            crash_points,
+            ..RecoveryConfig::default()
+        };
+        let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+        run_service_recoverable(&mut analyzer, &fx.nodes, &fx.messages, &cfg)
+            .expect("budget-starved run completes")
+    };
+
+    let (diags_plain, _, _, rec_plain) = run(Vec::new());
+    let (diags_crashed, _, _, rec_crashed) = run(vec![150, 80]);
+
+    assert!(rec_plain.jobs_cancelled > 0, "zero-pass budget cancels: {rec_plain:?}");
+    assert!(rec_crashed.jobs_cancelled > 0);
+    assert_eq!(rec_crashed.restores, 2, "one restore per scheduled crash");
+    assert_eq!(
+        diags_crashed, diags_plain,
+        "cancellations must be a pure function of the jobs, not of crash timing"
+    );
+    assert!(diags_plain.iter().all(|d| d.confidence == CaptureConfidence::Cancelled));
+}
+
+#[test]
+fn wall_clock_budgets_are_rejected_by_the_recoverable_service() {
+    let fx = fixture();
+    let cfg = RecoveryConfig {
+        budget: JobBudget::WallClock(Duration::from_secs(5)),
+        ..RecoveryConfig::default()
+    };
+    let mut analyzer = Analyzer::new(&fx.lib, gcfg());
+    let err = run_service_recoverable(&mut analyzer, &fx.nodes, &fx.messages, &cfg)
+        .expect_err("wall-clock budgets cannot be replayed identically");
+    assert!(matches!(err, ServiceError::NondeterministicBudget), "{err}");
 }
 
 #[test]

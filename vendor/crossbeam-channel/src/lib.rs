@@ -171,6 +171,16 @@ impl<T> Sender<T> {
         self.inner.not_empty.notify_one();
         Ok(())
     }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -226,6 +236,16 @@ impl<T> Receiver<T> {
     /// sender disconnects.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { rx: self }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 

@@ -17,7 +17,7 @@
 //! detects faults and operations (that is the configuration the
 //! throughput experiments run).
 
-use crate::anomaly::{scan_rest_error, scan_rpc_error, LatencyPairer};
+use crate::anomaly::{scan_message, LatencyPairer};
 use crate::config::GretelConfig;
 use crate::detect::{Detector, SnapshotIndex};
 use crate::event::{Event, FaultMark};
@@ -27,7 +27,7 @@ use crate::perf::{PerfFault, PerfMonitor};
 use crate::rca::RcaEngine;
 use crate::report::{CaptureConfidence, Diagnosis, FaultKind};
 use crate::window::{SlidingWindow, Snapshot};
-use gretel_model::{Message, MessageId, NodeId, OperationSpec, WireKind};
+use gretel_model::{Message, MessageId, NodeId, OperationSpec};
 use gretel_sim::Deployment;
 use gretel_telemetry::{LevelShiftConfig, TelemetryStore};
 
@@ -197,29 +197,34 @@ impl<'a> Analyzer<'a> {
         msg: &Message,
         metrics: Option<&gretel_obs::PipelineMetrics>,
     ) -> Vec<SnapshotJob> {
+        // 1. Byte-level fault scan (never the structured fields).
+        self.ingest_marked(msg, scan_message(msg), metrics)
+    }
+
+    /// [`Self::ingest_observed`] for a message whose byte scan already ran.
+    ///
+    /// [`scan_message`] is pure, so a batched receiver can scan a whole
+    /// decoded [`gretel_netcap::FrameBatch`] in one tight loop as frames
+    /// are released and hand the marks in here with the messages — the
+    /// counters, window pushes and arming decisions all happen at ingest
+    /// time in merge order, exactly as if the scan had run inline.
+    /// `fault` **must** equal `scan_message(msg)`; anything else forks the
+    /// diagnosis stream from the per-message path.
+    pub fn ingest_marked(
+        &mut self,
+        msg: &Message,
+        fault: FaultMark,
+        metrics: Option<&gretel_obs::PipelineMetrics>,
+    ) -> Vec<SnapshotJob> {
         self.stats.messages += 1;
         self.stats.bytes += msg.payload.len() as u64;
+        match fault {
+            FaultMark::RestError(_) => self.stats.rest_errors += 1,
+            FaultMark::RpcError => self.stats.rpc_errors += 1,
+            FaultMark::None => {}
+        }
 
         let def = self.lib.catalog().get(msg.api);
-
-        // 1. Byte-level fault scan (never the structured fields).
-        let fault = match &msg.wire {
-            WireKind::Rest { .. } => match scan_rest_error(&msg.payload) {
-                Some(status) => {
-                    self.stats.rest_errors += 1;
-                    FaultMark::RestError(status)
-                }
-                None => FaultMark::None,
-            },
-            WireKind::Rpc { .. } => {
-                if scan_rpc_error(&msg.payload) {
-                    self.stats.rpc_errors += 1;
-                    FaultMark::RpcError
-                } else {
-                    FaultMark::None
-                }
-            }
-        };
 
         let mut ev =
             Event::new(msg, def.is_rpc(), def.is_state_change(), def.noise.is_some(), fault);

@@ -7,6 +7,7 @@
 //! that turns message timestamps into per-API latency observations —
 //! REST pairs by TCP connection metadata, RPC pairs by message id.
 
+use crate::event::FaultMark;
 use crate::fasthash::FastMap;
 use gretel_model::{ApiId, ConnKey, Message, WireKind};
 use gretel_sim::SimTime;
@@ -47,6 +48,50 @@ pub fn scan_rpc_error(payload: &[u8]) -> bool {
         i += off + 1;
     }
     false
+}
+
+/// The whole byte-level fault scan for one message, as a pure function:
+/// REST payloads go through [`scan_rest_error`], RPC payloads through the
+/// SWAR [`scan_rpc_error`]. No state, no counters — the same message
+/// always scans to the same [`FaultMark`], so the scan can run anywhere
+/// in the pipeline (at batch decode, at ingest, or re-derived after a
+/// checkpoint restore) without changing the diagnosis stream.
+///
+/// The batched receiver runs this over every message of a decoded
+/// [`gretel_netcap::FrameBatch`] in one tight loop, so the scanners stay
+/// hot in cache across the batch instead of interleaving with window and
+/// merge work per message.
+///
+/// ```
+/// use gretel_core::{scan_message, FaultMark};
+/// # use gretel_model::*;
+/// # let mut msg = Message {
+/// #     id: MessageId(1), ts_us: 0, src_node: NodeId(0), dst_node: NodeId(1),
+/// #     src_service: Service::Nova, dst_service: Service::Neutron, api: ApiId(1),
+/// #     direction: Direction::Response,
+/// #     wire: WireKind::Rest { method: HttpMethod::Get, uri: "/v2.1/servers".into(), status: None },
+/// #     conn: ConnKey::default(), payload: vec![], correlation_id: None, truth_op: None,
+/// #     truth_noise: false,
+/// # };
+/// msg.payload = b"HTTP/1.1 503 Service Unavailable".to_vec();
+/// assert_eq!(scan_message(&msg), FaultMark::RestError(503));
+/// msg.payload = b"HTTP/1.1 200 OK".to_vec();
+/// assert_eq!(scan_message(&msg), FaultMark::None);
+/// ```
+pub fn scan_message(msg: &Message) -> FaultMark {
+    match &msg.wire {
+        WireKind::Rest { .. } => match scan_rest_error(&msg.payload) {
+            Some(status) => FaultMark::RestError(status),
+            None => FaultMark::None,
+        },
+        WireKind::Rpc { .. } => {
+            if scan_rpc_error(&msg.payload) {
+                FaultMark::RpcError
+            } else {
+                FaultMark::None
+            }
+        }
+    }
 }
 
 /// First position of `b` in `hay`, scanning a 64-bit word per step (the

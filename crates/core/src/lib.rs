@@ -16,8 +16,23 @@
 //!   analysis (Algorithm 3 — [`rca`]);
 //! * [`config`] holds the paper's thresholds (α, β, δ, c1, c2) and the
 //!   precision metric θ; [`report`] renders diagnoses.
+//!
+//! The stage-by-stage walkthrough of how these modules compose into the
+//! deployed pipeline lives in `ARCHITECTURE.md` at the repository root.
+//!
+//! # Example
+//!
+//! Scan a captured message for an error signature without running the
+//! full analyzer:
+//!
+//! ```
+//! use gretel_core::scan_rest_error;
+//!
+//! assert_eq!(scan_rest_error(b"HTTP/1.1 503 Service Unavailable"), Some(503));
+//! assert_eq!(scan_rest_error(b"HTTP/1.1 200 OK"), None);
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analyzer;
 pub mod anomaly;
@@ -42,7 +57,7 @@ pub mod window;
 pub use analyzer::{
     analyze_stream, Analyzer, AnalyzerStats, JobBudget, RcaContext, SnapshotAnalyzer, SnapshotJob,
 };
-pub use anomaly::{scan_rest_error, scan_rpc_error, LatencyObs, LatencyPairer};
+pub use anomaly::{scan_message, scan_rest_error, scan_rpc_error, LatencyObs, LatencyPairer};
 pub use checkpoint::{CheckpointError, Journal};
 pub use config::{theta, GretelConfig};
 pub use detect::{DetectionOutcome, Detector, SnapshotIndex};

@@ -34,14 +34,18 @@
 //! `(seed, job, attempt)` so every run is reproducible.
 
 use crate::analyzer::{Analyzer, AnalyzerStats, JobBudget, SnapshotAnalyzer, SnapshotJob};
+use crate::anomaly::scan_message;
 use crate::checkpoint::{codec, Journal};
+use crate::event::FaultMark;
 use crate::report::Diagnosis;
-use crate::service::{ship_frames, BackpressurePolicy, ServiceConfig, ServiceError, ServiceStats};
-use bytes::Bytes;
+use crate::service::{
+    ship_batches, BackpressurePolicy, ServiceConfig, ServiceError, ServiceStats,
+};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use gretel_model::{Message, NodeId};
 use gretel_netcap::{
-    decode_one, decode_one_seq, encode, CaptureAgent, CaptureImpairment, CaptureStats, Resequencer,
+    batch_frames, decode_one, encode, CaptureAgent, CaptureImpairment, CaptureStats, FrameBatch,
+    Resequencer,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
@@ -207,23 +211,42 @@ const KIND_CHECKPOINT: u8 = 1;
 /// One agent's receiver-side stream state (always sequenced here).
 struct RecvStream {
     reseq: Resequencer,
-    ready: VecDeque<(u32, Message)>,
+    ready: VecDeque<(u32, Message, FaultMark)>,
     done: bool,
 }
 
 impl RecvStream {
-    fn refill(&mut self, rx: &Receiver<Bytes>, stats: &mut ServiceStats) -> Result<(), ServiceError> {
+    /// Queue released messages for the merge, scanning the run in one
+    /// batch-wide pass (the marks are pure functions of the messages, so
+    /// replay after a restore recomputes identical ones).
+    fn admit(&mut self, released: impl IntoIterator<Item = (u32, Message)>) {
+        for (gap, msg) in released {
+            let mark = scan_message(&msg);
+            self.ready.push_back((gap, msg, mark));
+        }
+    }
+
+    fn refill(
+        &mut self,
+        rx: &Receiver<FrameBatch>,
+        stats: &mut ServiceStats,
+    ) -> Result<(), ServiceError> {
         while self.ready.is_empty() && !self.done {
             match rx.recv() {
-                Ok(frame) => {
-                    stats.frames += 1;
-                    stats.bytes += frame.len() as u64;
-                    let (msg, seq) = decode_one_seq(&frame)?;
-                    self.ready.extend(self.reseq.push(seq, msg));
+                Ok(batch) => {
+                    stats.channel_ops += 1;
+                    stats.frames += batch.frames() as u64;
+                    stats.bytes += batch.byte_len() as u64;
+                    let mut released = Vec::with_capacity(batch.frames());
+                    for (msg, seq) in batch.decode_all()? {
+                        released.extend(self.reseq.push(seq, msg));
+                    }
+                    self.admit(released);
                 }
                 Err(_) => {
                     self.done = true;
-                    self.ready.extend(self.reseq.flush());
+                    let released = self.reseq.flush();
+                    self.admit(released);
                 }
             }
         }
@@ -247,7 +270,10 @@ fn encode_checkpoint(analyzer_state: &[u8], next_seq: u64, streams: &[RecvStream
         // will come back from replay only as discarded duplicates, so they
         // MUST travel with the checkpoint.
         put_u32(&mut out, st.ready.len() as u32);
-        for (gap, msg) in &st.ready {
+        // The fault marks are NOT serialized: the scan is a pure function
+        // of the message, so restore recomputes identical marks — the
+        // checkpoint format is unchanged from the per-message service.
+        for (gap, msg, _mark) in &st.ready {
             put_u32(&mut out, *gap);
             let frame = encode(msg);
             put_u32(&mut out, frame.len() as u32);
@@ -280,7 +306,8 @@ fn decode_checkpoint(
         for _ in 0..n_ready {
             let gap = r.u32()?;
             let msg = decode_one(r.bytes()?)?;
-            ready.push_back((gap, msg));
+            let mark = scan_message(&msg);
+            ready.push_back((gap, msg, mark));
         }
         streams.push(RecvStream { reseq, ready, done: false });
     }
@@ -566,22 +593,26 @@ pub fn run_service_recoverable(
             // Agents re-ship the whole deterministic stream every cycle;
             // the restored resequencers turn the consumed prefix into
             // discarded duplicates.
-            let mut rxs: Vec<Receiver<Bytes>> = Vec::with_capacity(nodes.len());
+            let mut rxs: Vec<Receiver<FrameBatch>> = Vec::with_capacity(nodes.len());
             for &node in nodes {
-                let (tx, rx) = bounded::<Bytes>(service_cfg.channel_capacity);
+                let (tx, rx) = bounded::<FrameBatch>(service_cfg.channel_capacity);
                 rxs.push(rx);
                 let agent = CaptureAgent::new(node);
                 let stat_tx = stat_tx.clone();
                 let impairment = service_cfg.impairment;
+                let ingest_batch = service_cfg.ingest_batch;
                 scope.spawn(move || {
                     let mut capture = CaptureStats::default();
                     let mut drops = 0u64;
+                    // Impair the flat frame list first (coins key on
+                    // per-agent frame indices), then pack into arenas.
                     let frames = agent.capture_seq(traffic.iter(), 0);
                     let frames = match impairment {
                         Some(imp) => imp.apply(node, frames, &mut capture),
                         None => unreachable!("recoverable runs are always sequenced"),
                     };
-                    ship_frames(frames, &tx, None, BackpressurePolicy::Block, &mut drops);
+                    let batches = batch_frames(&frames, ingest_batch);
+                    ship_batches(batches, &tx, None, BackpressurePolicy::Block, &mut drops);
                     let _ = stat_tx.send(capture);
                 });
             }
@@ -631,11 +662,11 @@ pub fn run_service_recoverable(
                 }
                 let mut best: Option<usize> = None;
                 for (i, st) in streams.iter().enumerate() {
-                    if let Some((_, m)) = st.ready.front() {
+                    if let Some((_, m, _)) = st.ready.front() {
                         let better = match best {
                             None => true,
                             Some(b) => {
-                                let (_, bm) =
+                                let (_, bm, _) =
                                     streams[b].ready.front().expect("best is nonempty");
                                 (m.ts_us, m.id) < (bm.ts_us, bm.id)
                             }
@@ -646,13 +677,14 @@ pub fn run_service_recoverable(
                     }
                 }
                 let Some(i) = best else { break };
-                let (gap, msg) = streams[i].ready.pop_front().expect("chosen head is nonempty");
+                let (gap, msg, mark) =
+                    streams[i].ready.pop_front().expect("chosen head is nonempty");
                 streams[i].refill(&rxs[i], &mut service_stats)?;
                 if gap > 0 {
                     analyzer.note_capture_gap(gap);
                 }
                 let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Ingest);
-                let jobs = analyzer.ingest_observed(&msg, metrics);
+                let jobs = analyzer.ingest_marked(&msg, mark, metrics);
                 t.finish();
                 if let Some(m) = metrics {
                     m.count(gretel_obs::Stage::Ingest, 1);

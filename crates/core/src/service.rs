@@ -1,11 +1,21 @@
 //! The distributed monitoring service (paper Fig 3), threaded.
 //!
 //! One capture-agent thread per node encodes its egress traffic into
-//! frames and ships them over a bounded channel; the event receiver
-//! performs a k-way merge (each agent's stream is in timestamp order, like
-//! a TCP stream from Bro preserves order, §5.2), decodes frames, and
-//! drives the [`Analyzer`]. This is the deployment shape the §7.4.2
-//! overhead experiment measures.
+//! frames, packs them into arena-backed [`FrameBatch`]es
+//! ([`ServiceConfig::ingest_batch`] frames per channel operation), and
+//! ships the batches over a bounded channel; the event receiver performs
+//! a k-way merge (each agent's stream is in timestamp order, like a TCP
+//! stream from Bro preserves order, §5.2), decodes each batch zero-copy
+//! out of its arena, scans the whole batch for failure patterns in one
+//! tight pass, and drives the [`Analyzer`]. This is the deployment shape
+//! the §7.4.2 overhead experiment measures.
+//!
+//! Batching is a transport-granularity knob, never a semantic one: frames
+//! keep their per-agent order inside each arena, the k-way merge still
+//! consumes one message at a time, and the fault scan is a pure function
+//! of each message — so the diagnosis stream is byte-identical for every
+//! `ingest_batch` value, including under impairment and crash replay
+//! (`tests/batched_ingest.rs` holds that oracle).
 //!
 //! [`run_service_cfg`] is the full-featured entry point: it can stamp
 //! per-agent sequence numbers, impair the capture plane with a seeded
@@ -16,13 +26,15 @@
 //! shapes, expressed in terms of the same machinery.
 
 use crate::analyzer::{Analyzer, AnalyzerStats, SnapshotJob};
+use crate::anomaly::scan_message;
 use crate::checkpoint::CheckpointError;
+use crate::event::FaultMark;
 use crate::report::Diagnosis;
-use bytes::Bytes;
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use gretel_model::{Message, NodeId};
 use gretel_netcap::{
-    decode_one_seq, CaptureAgent, CaptureImpairment, CaptureStats, CodecError, Resequencer,
+    batch_frames, CaptureAgent, CaptureImpairment, CaptureStats, CodecError, FrameBatch,
+    FrameBatchBuilder, Resequencer,
 };
 use std::collections::VecDeque;
 
@@ -164,6 +176,12 @@ pub struct ServiceConfig {
     /// Receiver-side resequencer depth: how many out-of-order frames to
     /// park per agent before force-advancing past a hole.
     pub resequence_depth: usize,
+    /// Frames packed per [`FrameBatch`] channel operation on each agent
+    /// link (≥ 1). `1` is the per-message shape — one frame per send;
+    /// larger values amortize channel synchronization and per-frame
+    /// allocation across the batch. Purely a transport-granularity knob:
+    /// the diagnosis stream is byte-identical for every value.
+    pub ingest_batch: usize,
     /// Optional pipeline metrics registry: stage event counts and
     /// latencies, capture meters, and queue-depth gauges flow into it from
     /// every thread of the pipeline. `None` (the default) and
@@ -180,6 +198,7 @@ impl Default for ServiceConfig {
             backpressure: BackpressurePolicy::Block,
             impairment: None,
             resequence_depth: 32,
+            ingest_batch: 64,
             metrics: None,
         }
     }
@@ -206,6 +225,11 @@ pub struct ServiceStats {
     pub frames: u64,
     /// Encoded bytes shipped.
     pub bytes: u64,
+    /// Agent→receiver channel operations (batch receives) the receiver
+    /// performed. Equal to `frames` when [`ServiceConfig::ingest_batch`]
+    /// is 1; divided by up to the batch size otherwise — the dispatch
+    /// overhead the batched fast path amortizes.
+    pub channel_ops: u64,
     /// Frames evicted by [`BackpressurePolicy::DropOldest`].
     pub backpressure_drops: u64,
     /// Merged capture-plane picture: injector-side counters (dropped,
@@ -250,48 +274,73 @@ pub fn run_service_sharded(
     )
 }
 
-/// One agent's decoded stream at the receiver: frames are resequenced (when
-/// sequenced) into `(gap_before, message)` pairs, buffered until the k-way
-/// merge consumes them.
+/// One agent's decoded stream at the receiver: batches are decoded
+/// zero-copy out of their arena, resequenced (when sequenced) into
+/// `(gap_before, message)` pairs, scanned for failure patterns in one
+/// batch-wide pass, and buffered until the k-way merge consumes them.
 struct AgentStream {
     reseq: Option<Resequencer>,
-    ready: VecDeque<(u32, Message)>,
+    ready: VecDeque<(u32, Message, FaultMark)>,
     done: bool,
 }
 
 impl AgentStream {
-    /// Pull frames until at least one message is ready or the stream ends.
+    /// Scan a run of released messages (one decoded batch's worth) and
+    /// queue them for the merge. This is the batch-wide fault-scan pass:
+    /// the SWAR scanners run back to back over the released messages
+    /// while they are cache-hot, instead of interleaving with merge and
+    /// window work per message. The scan is pure, so the marks are the
+    /// ones inline ingest would have computed.
+    fn admit(&mut self, released: impl IntoIterator<Item = (u32, Message)>) {
+        for (gap, msg) in released {
+            let mark = scan_message(&msg);
+            self.ready.push_back((gap, msg, mark));
+        }
+    }
+
+    /// Pull batches until at least one message is ready or the stream ends.
     fn refill(
         &mut self,
-        rx: &Receiver<Bytes>,
+        rx: &Receiver<FrameBatch>,
         stats: &mut ServiceStats,
         metrics: Option<&gretel_obs::PipelineMetrics>,
     ) -> Result<(), ServiceError> {
         while self.ready.is_empty() && !self.done {
             match rx.recv() {
-                Ok(frame) => {
-                    stats.frames += 1;
-                    stats.bytes += frame.len() as u64;
-                    let (msg, seq) = decode_one_seq(&frame)?;
+                Ok(batch) => {
+                    stats.channel_ops += 1;
+                    stats.frames += batch.frames() as u64;
+                    stats.bytes += batch.byte_len() as u64;
+                    let decoded = batch.decode_all()?;
                     match &mut self.reseq {
                         Some(r) => {
+                            // One timing sample per batch, one counted
+                            // event per frame: stage latencies show the
+                            // batch-level dispatch cost while event counts
+                            // stay per-item (see gretel-obs).
+                            let n = decoded.len() as u64;
+                            let mut released = Vec::with_capacity(decoded.len());
                             let t = gretel_obs::StageTimer::start(
                                 metrics,
                                 gretel_obs::Stage::Resequence,
                             );
-                            self.ready.extend(r.push(seq, msg));
+                            for (msg, seq) in decoded {
+                                released.extend(r.push(seq, msg));
+                            }
                             t.finish();
                             if let Some(m) = metrics {
-                                m.count(gretel_obs::Stage::Resequence, 1);
+                                m.count(gretel_obs::Stage::Resequence, n);
                             }
+                            self.admit(released);
                         }
-                        None => self.ready.push_back((0, msg)),
+                        None => self.admit(decoded.into_iter().map(|(msg, _)| (0, msg))),
                     }
                 }
                 Err(_) => {
                     self.done = true;
                     if let Some(r) = &mut self.reseq {
-                        self.ready.extend(r.flush());
+                        let released = r.flush();
+                        self.admit(released);
                     }
                 }
             }
@@ -300,47 +349,59 @@ impl AgentStream {
     }
 }
 
-/// Ship one agent's (possibly impaired) frames under a backpressure
-/// policy. Returns `false` if the receiver went away. `evict_rx` must be
-/// `Some` under [`BackpressurePolicy::DropOldest`] and `None` under
+/// Ship one frame batch under a backpressure policy. Returns `false` if
+/// the receiver went away. `evict_rx` must be `Some` under
+/// [`BackpressurePolicy::DropOldest`] and `None` under
 /// [`BackpressurePolicy::Block`] — a blocking agent must not hold a
 /// receiver clone, or its own handle would keep the link alive (and its
 /// sends blocked forever) after the real receiver hung up.
-pub(crate) fn ship_frames(
-    frames: Vec<Bytes>,
-    tx: &Sender<Bytes>,
-    evict_rx: Option<&Receiver<Bytes>>,
+pub(crate) fn ship_batch(
+    batch: FrameBatch,
+    tx: &Sender<FrameBatch>,
+    evict_rx: Option<&Receiver<FrameBatch>>,
     policy: BackpressurePolicy,
     drops: &mut u64,
 ) -> bool {
-    for frame in frames {
-        match policy {
-            BackpressurePolicy::Block => {
-                if tx.send(frame).is_err() {
-                    return false;
-                }
-            }
-            BackpressurePolicy::DropOldest => {
-                let evict_rx = evict_rx.expect("DropOldest requires an eviction handle");
-                let mut frame = frame;
-                loop {
-                    match tx.try_send(frame) {
-                        Ok(()) => break,
-                        Err(TrySendError::Full(f)) => {
-                            frame = f;
-                            // Evict the oldest queued frame. The receiver
-                            // may race us to it — then the queue has room
-                            // anyway; yield and retry.
-                            if evict_rx.try_recv().is_ok() {
-                                *drops += 1;
-                            } else {
-                                std::thread::yield_now();
-                            }
+    match policy {
+        BackpressurePolicy::Block => tx.send(batch).is_ok(),
+        BackpressurePolicy::DropOldest => {
+            let evict_rx = evict_rx.expect("DropOldest requires an eviction handle");
+            let mut batch = batch;
+            loop {
+                match tx.try_send(batch) {
+                    Ok(()) => return true,
+                    Err(TrySendError::Full(b)) => {
+                        batch = b;
+                        // Evict the oldest queued batch. The receiver may
+                        // race us to it — then the queue has room anyway;
+                        // yield and retry. Eviction granularity is the
+                        // batch, but drops are accounted per frame so the
+                        // capture arithmetic is batch-size independent.
+                        if let Ok(evicted) = evict_rx.try_recv() {
+                            *drops += evicted.frames() as u64;
+                        } else {
+                            std::thread::yield_now();
                         }
-                        Err(TrySendError::Disconnected(_)) => return false,
                     }
+                    Err(TrySendError::Disconnected(_)) => return false,
                 }
             }
+        }
+    }
+}
+
+/// Ship one agent's (possibly impaired) pre-built batches under a
+/// backpressure policy; see [`ship_batch`].
+pub(crate) fn ship_batches(
+    batches: Vec<FrameBatch>,
+    tx: &Sender<FrameBatch>,
+    evict_rx: Option<&Receiver<FrameBatch>>,
+    policy: BackpressurePolicy,
+    drops: &mut u64,
+) -> bool {
+    for batch in batches {
+        if !ship_batch(batch, tx, evict_rx, policy, drops) {
+            return false;
         }
     }
     true
@@ -389,6 +450,7 @@ pub fn run_service_checked(
     cfg: &ServiceConfig,
 ) -> Result<(Vec<Diagnosis>, ServiceStats, AnalyzerStats), ServiceError> {
     assert!(cfg.channel_capacity > 0);
+    assert!(cfg.ingest_batch >= 1, "a batch holds at least one frame");
     let workers = cfg.effective_workers();
     let sequenced = cfg.sequenced();
     let metrics = cfg.metrics.as_deref();
@@ -420,24 +482,26 @@ pub fn run_service_checked(
         drop(job_rx);
         drop(res_tx);
 
-        // One bounded link per agent.
-        let mut rxs: Vec<Receiver<Bytes>> = Vec::with_capacity(nodes.len());
+        // One bounded link per agent (batches, not frames).
+        let mut rxs: Vec<Receiver<FrameBatch>> = Vec::with_capacity(nodes.len());
         for &node in nodes {
-            let (tx, rx) = bounded::<Bytes>(cfg.channel_capacity);
+            let (tx, rx) = bounded::<FrameBatch>(cfg.channel_capacity);
             rxs.push(rx.clone());
             let agent = CaptureAgent::new(node);
             let stat_tx = stat_tx.clone();
             let impairment = cfg.impairment;
             let policy = cfg.backpressure;
+            let ingest_batch = cfg.ingest_batch;
             scope.spawn(move || {
                 // Under Block the agent must not hold a receiver handle —
-                // see [`ship_frames`]; drop it before the first send.
+                // see [`ship_batch`]; drop it before the first send.
                 let evict_rx = (policy == BackpressurePolicy::DropOldest).then_some(rx);
                 let mut capture = CaptureStats::default();
                 let mut drops = 0u64;
                 if sequenced {
-                    // Whole-stream batch: impairment indices are per-agent
-                    // frame indices, so the batch must cover the stream.
+                    // Whole-stream capture first: impairment coins key on
+                    // per-agent frame indices, so the impairment must see
+                    // the flat frame list before it is packed into arenas.
                     let frames = agent.capture_seq(traffic.iter(), 0);
                     let frames = match impairment {
                         Some(imp) => imp.apply(node, frames, &mut capture),
@@ -446,15 +510,28 @@ pub fn run_service_checked(
                             frames
                         }
                     };
-                    ship_frames(frames, &tx, evict_rx.as_ref(), policy, &mut drops);
+                    let batches = batch_frames(&frames, ingest_batch);
+                    ship_batches(batches, &tx, evict_rx.as_ref(), policy, &mut drops);
                 } else {
-                    // Legacy lossless path: stream frame by frame.
+                    // Legacy lossless path: stream capture, packing each
+                    // batch arena as frames arrive.
+                    let mut builder = FrameBatchBuilder::new(ingest_batch);
+                    let mut alive = true;
                     for msg in traffic {
                         if agent.observes(msg) {
                             capture.frames += 1;
-                            if tx.send(gretel_netcap::encode(msg)).is_err() {
-                                break; // receiver gone
+                            if let Some(batch) = builder.push(&gretel_netcap::encode(msg)) {
+                                if !ship_batch(batch, &tx, evict_rx.as_ref(), policy, &mut drops)
+                                {
+                                    alive = false;
+                                    break; // receiver gone
+                                }
                             }
+                        }
+                    }
+                    if alive {
+                        if let Some(batch) = builder.finish() {
+                            ship_batch(batch, &tx, evict_rx.as_ref(), policy, &mut drops);
                         }
                     }
                 }
@@ -482,11 +559,11 @@ pub fn run_service_checked(
         loop {
             let mut best: Option<usize> = None;
             for (i, st) in streams.iter().enumerate() {
-                if let Some((_, m)) = st.ready.front() {
+                if let Some((_, m, _)) = st.ready.front() {
                     let better = match best {
                         None => true,
                         Some(b) => {
-                            let (_, bm) = streams[b].ready.front().expect("best is nonempty");
+                            let (_, bm, _) = streams[b].ready.front().expect("best is nonempty");
                             (m.ts_us, m.id) < (bm.ts_us, bm.id)
                         }
                     };
@@ -496,13 +573,14 @@ pub fn run_service_checked(
                 }
             }
             let Some(i) = best else { break };
-            let (gap, msg) = streams[i].ready.pop_front().expect("chosen head is nonempty");
+            let (gap, msg, mark) =
+                streams[i].ready.pop_front().expect("chosen head is nonempty");
             streams[i].refill(&rxs[i], &mut service_stats, metrics)?;
             if gap > 0 {
                 analyzer.note_capture_gap(gap);
             }
             let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Ingest);
-            let jobs = analyzer.ingest_observed(&msg, metrics);
+            let jobs = analyzer.ingest_marked(&msg, mark, metrics);
             t.finish();
             if let Some(m) = metrics {
                 m.count(gretel_obs::Stage::Ingest, 1);

@@ -229,7 +229,7 @@ pub fn decode_seq(buf: &mut BytesMut) -> Result<Option<(Message, Option<u64>)>, 
     Ok(Some(decoded))
 }
 
-fn decode_body(buf: &mut BytesMut) -> Result<(Message, Option<u64>), CodecError> {
+fn decode_body(buf: &mut impl Buf) -> Result<(Message, Option<u64>), CodecError> {
     need(buf, 2 + 1 + 1 + 8 + 8 + 4 + 2 + 2 + 4)?;
     let magic = buf.get_u16_le();
     if magic != MAGIC {
@@ -318,13 +318,23 @@ pub fn decode_one(bytes: &[u8]) -> Result<Message, CodecError> {
 
 /// Convenience: decode a buffer holding exactly one frame, returning the
 /// per-agent sequence number when the frame carries one.
+///
+/// Decodes in place (`&[u8]` is itself a [`Buf`] cursor): no staging copy
+/// into a `BytesMut`, so a frame sliced out of a shared batch arena is
+/// parsed straight from the arena's allocation.
 pub fn decode_one_seq(bytes: &[u8]) -> Result<(Message, Option<u64>), CodecError> {
-    let mut buf = BytesMut::from(bytes);
-    match decode_seq(&mut buf)? {
-        Some(m) if buf.is_empty() => Ok(m),
-        Some(_) => Err(CodecError::InvalidField("trailing bytes")),
-        None => Err(CodecError::Truncated),
+    if bytes.len() < 4 {
+        return Err(CodecError::Truncated);
     }
+    let frame_len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if bytes.len() < 4 + frame_len {
+        return Err(CodecError::Truncated);
+    }
+    if bytes.len() > 4 + frame_len {
+        return Err(CodecError::InvalidField("trailing bytes"));
+    }
+    let mut frame = &bytes[4..];
+    decode_body(&mut frame)
 }
 
 /// Encoded size of a message, including the length prefix.

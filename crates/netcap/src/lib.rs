@@ -5,6 +5,8 @@
 //!
 //! * [`frame`] — length-delimited binary codec for captured messages (the
 //!   bytes whose volume the §7.4 throughput numbers measure);
+//! * [`batch`] — arena-backed [`FrameBatch`]es: many frames per channel
+//!   operation, zero-copy frame views and decode;
 //! * [`agent`] — per-node egress capture agents, relevance filtering,
 //!   the analyzer-side k-way merge back into one ordered stream, plus the
 //!   capture-loss machinery: seeded [`CaptureImpairment`] injection and the
@@ -17,6 +19,7 @@
 #![deny(missing_docs)]
 
 pub mod agent;
+pub mod batch;
 pub mod frame;
 pub mod pcap;
 pub mod stats;
@@ -25,6 +28,7 @@ pub use agent::{
     capture_and_merge, degrade, is_relevant, merge_captures, skew_clocks, AgentLink,
     CaptureAgent, CaptureImpairment, Degradation, Resequencer, StallSpec,
 };
+pub use batch::{batch_frames, FrameBatch, FrameBatchBuilder};
 pub use frame::{
     decode, decode_one, decode_one_seq, decode_seq, encode, encode_seq, encoded_len, CodecError,
 };

@@ -41,7 +41,13 @@ pub enum Stage {
     /// pairing, window push.
     Ingest,
     /// Receiver-side per-frame sequence restoration (dup discard, reorder
-    /// parking, gap inference).
+    /// parking, gap inference). With the batched transport this stage is
+    /// *timed* once per [`FrameBatch`](../gretel_netcap/struct.FrameBatch.html)
+    /// drained from the channel but *counted* per decoded frame — the
+    /// canonical user of the [`count`](PipelineMetrics::count) /
+    /// [`observe`](PipelineMetrics::observe) split: `stage_events` stays
+    /// a per-item meter while the latency histogram reflects the real
+    /// unit of work.
     Resequence,
     /// Snapshot freeze → job preparation (perf folding, error claiming).
     Window,

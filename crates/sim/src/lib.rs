@@ -17,8 +17,28 @@
 //! [`stream`] generates the §7.4 stress streams.
 //!
 //! Everything is deterministic for a given seed.
+//!
+//! # Example
+//!
+//! Run one operation on the standard deployment and observe its captured
+//! message stream:
+//!
+//! ```
+//! use gretel_model::{Catalog, OpSpecId, Workflows};
+//! use gretel_sim::{Deployment, FaultPlan, RunConfig, Runner};
+//!
+//! let cat = Catalog::openstack();
+//! let dep = Deployment::standard();
+//! let wf = Workflows::new(cat.clone());
+//! let spec = wf.vm_create_spec(OpSpecId(0));
+//! let plan = FaultPlan::none();
+//! let exec = Runner::new(cat, &dep, &plan, RunConfig::default()).run(&[&spec]);
+//! assert!(!exec.messages.is_empty());
+//! // Same seed, same stream: the simulator is deterministic.
+//! assert!(exec.messages.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chaos;
 pub mod deployment;

@@ -22,6 +22,10 @@ cargo run --release --offline -q -p gretel-bench --bin recovery -- --smoke
 # and the instrumentation overhead gate (see EXPERIMENTS.md).
 cargo run --release --offline -q -p gretel-bench --bin observability -- --smoke
 
+# Markdown hygiene: intra-repo links resolve and every results/*.json
+# artifact is reachable from README.md or EXPERIMENTS.md.
+scripts/md_hygiene.sh
+
 # Rustdoc must stay warning-free for the first-party crates, and the
 # runnable doc-examples are part of the test surface.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline \

@@ -5,7 +5,7 @@
 //! (immutable, cheaply cloneable), `BytesMut` (append + consume-from-front),
 //! and the `Buf`/`BufMut` traits with little-endian accessors.
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// Immutable byte buffer. Cloning is O(1) (shared `Arc<[u8]>` plus a range).
@@ -35,6 +35,24 @@ impl Bytes {
 
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
+    }
+
+    /// A zero-copy sub-view sharing the same allocation: the returned
+    /// `Bytes` clones the `Arc`, never the bytes. Panics when the range
+    /// falls outside `0..len`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of range for {}", self.len());
+        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
     }
 
     fn as_slice(&self) -> &[u8] {
@@ -78,6 +96,22 @@ impl Buf for Bytes {
     fn advance(&mut self, n: usize) {
         assert!(n <= self.len(), "advance past end of Bytes");
         self.start += n;
+    }
+}
+
+/// A byte slice is itself a cursor: reading narrows the slice in place.
+/// This is the zero-copy decode path — a codec generic over [`Buf`] can
+/// parse straight out of a shared arena without staging into `BytesMut`.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of slice");
+        *self = &self[n..];
     }
 }
 
@@ -272,6 +306,29 @@ mod tests {
         assert_eq!(frozen.len(), 6);
         let c = frozen.clone();
         assert_eq!(&c[..], &frozen[..]);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let b = Bytes::from(b"hello world".to_vec());
+        let tail = b.slice(6..);
+        assert_eq!(&tail[..], b"world");
+        let mid = b.slice(3..8);
+        assert_eq!(&mid[..], b"lo wo");
+        let sub = mid.slice(1..=2);
+        assert_eq!(&sub[..], b"o ");
+        assert_eq!(b.slice(..).len(), b.len());
+        assert!(b.slice(11..).is_empty());
+        assert!(std::panic::catch_unwind(|| b.slice(5..20)).is_err());
+    }
+
+    #[test]
+    fn slices_decode_in_place() {
+        let mut s: &[u8] = &[7, 0xEF, 0xBE, b'x'];
+        assert_eq!(s.get_u8(), 7);
+        assert_eq!(s.get_u16_le(), 0xBEEF);
+        assert_eq!(s.remaining(), 1);
+        assert_eq!(s.chunk(), b"x");
     }
 
     #[test]

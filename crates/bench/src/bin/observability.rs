@@ -260,24 +260,28 @@ fn main() {
         watched_stage
     );
 
-    results::write_json(
-        "observability",
-        &Output {
-            seed,
-            reps,
-            rows,
-            total_none_us,
-            total_disabled_us,
-            total_enabled_us,
-            overhead_pct,
-            all_identical,
-            all_deterministic,
-            prometheus_samples: samples.len(),
-            json_roundtrip,
-            self_watch_faults,
-            self_watch_stage: watched_stage.clone(),
-        },
-    );
+    // Smoke runs cover one scenario at reduced reps; don't clobber the
+    // committed full-sweep artifact with them.
+    if !smoke {
+        results::write_json(
+            "observability",
+            &Output {
+                seed,
+                reps,
+                rows,
+                total_none_us,
+                total_disabled_us,
+                total_enabled_us,
+                overhead_pct,
+                all_identical,
+                all_deterministic,
+                prometheus_samples: samples.len(),
+                json_roundtrip,
+                self_watch_faults,
+                self_watch_stage: watched_stage.clone(),
+            },
+        );
+    }
 
     assert!(all_identical, "metrics must never perturb the diagnosis stream");
     assert!(all_deterministic, "enabled-run snapshots must agree modulo wall clock");

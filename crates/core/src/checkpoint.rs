@@ -3,13 +3,18 @@
 //! The recoverable service ([`crate::recover`]) periodically serializes the
 //! analyzer's ingest state — sliding window, latency pairer, perf
 //! detectors, error dedup set — together with the receiver-side
-//! [`gretel_netcap::Resequencer`] positions into a [`Journal`]: an
-//! append-only log of length-prefixed, checksummed records. After a crash
-//! the service restores the newest *valid* record (corrupted records are
-//! detected by checksum and skipped, never half-applied) and the agents
-//! replay their streams from the beginning; the restored resequencers
-//! discard the already-delivered prefix as duplicates, so the diagnosis
-//! stream continues exactly where the checkpoint left it.
+//! [`gretel_netcap::Resequencer`] positions into a [`gretel_store::Store`]:
+//! an append-only log of length-prefixed, checksummed records. After a
+//! crash the service restores the newest *valid* record (corrupted records
+//! are detected by checksum and skipped, never half-applied) and the
+//! agents replay their streams from the beginning; the restored
+//! resequencers discard the already-delivered prefix as duplicates, so the
+//! diagnosis stream continues exactly where the checkpoint left it.
+//!
+//! The [`Journal`] kept its PR 3 name and API but is now a thin veneer
+//! over [`gretel_store::MemStore`]; the record format lives in
+//! `gretel-store` so the [`gretel_store::FileStore`] backend can persist
+//! the same log across whole-process restarts.
 //!
 //! Everything here is deliberately dependency-free hand-rolled little-endian
 //! encoding: the journal must be readable by a *different* build of the
@@ -17,7 +22,11 @@
 //! than derived.
 
 use crate::event::{Event, FaultMark};
-use gretel_model::{ApiId, Direction, MessageId, NodeId};
+use crate::rca::{CauseKind, RootCause};
+use crate::report::{CaptureConfidence, Diagnosis, FaultKind};
+use gretel_model::{ApiId, Dependency, Direction, MessageId, NodeId, OpSpecId, Service};
+use gretel_sim::ResourceKind;
+use gretel_store::{MemStore, Store, StoreError};
 
 /// Why a checkpoint could not be restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,7 +130,7 @@ pub(crate) mod codec {
     }
 }
 
-use codec::{put_u16, put_u32, put_u64, put_u8, Reader};
+use codec::{put_f64, put_u16, put_u32, put_u64, put_u8, Reader};
 
 /// Encode one [`Event`] (fixed layout, 36 bytes).
 pub(crate) fn put_event(out: &mut Vec<u8>, ev: &Event) {
@@ -201,22 +210,13 @@ pub(crate) fn read_event(r: &mut Reader<'_>) -> Result<Event, CheckpointError> {
     })
 }
 
-/// FNV-1a 64-bit over a byte slice — the journal's record checksum. Not
-/// cryptographic; it detects the corruption the chaos injector (and real
-/// disks) produce: flipped or torn bytes inside a record.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit over a byte slice — the record checksum. Re-exported
+/// from [`gretel_store`], which owns the record format.
+pub use gretel_store::fnv1a;
 
-/// Per-record header: u32 payload length, u64 FNV-1a checksum, u8 kind.
-const RECORD_HEADER: usize = 4 + 8 + 1;
-
-/// An append-only log of length-prefixed, checksummed records.
+/// An append-only log of length-prefixed, checksummed records, held in
+/// memory — a veneer over [`gretel_store::MemStore`] that keeps the PR 3
+/// name and call sites.
 ///
 /// Records are `u32 len | u64 fnv1a(payload) | u8 kind | payload`. The
 /// length prefix keeps the scan aligned even when a payload is corrupted,
@@ -226,22 +226,28 @@ const RECORD_HEADER: usize = 4 + 8 + 1;
 /// service cold-starts, which is safe (just slower) because agents replay
 /// their whole stream anyway.
 ///
+/// [`Journal::append`] rejects payloads that do not fit the u32 length
+/// prefix (or the bound set by [`Journal::with_max_record`]) with
+/// [`StoreError::Oversized`] instead of silently truncating the prefix
+/// and desynchronizing the scan.
+///
 /// ```
 /// use gretel_core::Journal;
 ///
 /// let mut j = Journal::new();
-/// j.append(1, b"first");
-/// j.append(1, b"second");
+/// j.append(1, b"first").unwrap();
+/// j.append(1, b"second").unwrap();
 /// assert_eq!(j.latest_valid(1), Some(&b"second"[..]));
+/// assert_eq!(j.record_counts(), (2, 0));
 ///
-/// // Corrupt the newest record: restore falls back to the previous one.
-/// j.corrupt_record(1, 0);
-/// assert_eq!(j.latest_valid(1), Some(&b"first"[..]));
-/// assert_eq!(j.record_counts(), (1, 1));
+/// // Payloads that cannot fit the length prefix are rejected up front.
+/// let mut small = gretel_core::Journal::with_max_record(4);
+/// assert!(small.append(1, b"too long").is_err());
+/// assert!(small.is_empty());
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct Journal {
-    buf: Vec<u8>,
+    store: MemStore,
 }
 
 impl Journal {
@@ -250,122 +256,259 @@ impl Journal {
         Journal::default()
     }
 
+    /// An empty journal rejecting payloads longer than `max` bytes —
+    /// mainly so the oversized-append path is testable without
+    /// multi-gigabyte allocations.
+    pub fn with_max_record(max: usize) -> Journal {
+        Journal { store: MemStore::with_max_record(max) }
+    }
+
     /// Rebuild from raw bytes (e.g. read back from disk). No validation
     /// happens here; corrupt records surface during [`Journal::latest_valid`].
     pub fn from_bytes(buf: Vec<u8>) -> Journal {
-        Journal { buf }
+        Journal { store: MemStore::from_bytes(buf) }
     }
 
     /// The raw journal bytes (what would be persisted).
     pub fn bytes(&self) -> &[u8] {
-        &self.buf
+        self.store.bytes()
     }
 
-    /// Append one record.
-    pub fn append(&mut self, kind: u8, payload: &[u8]) {
-        self.buf.reserve(RECORD_HEADER + payload.len());
-        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&fnv1a(payload).to_le_bytes());
-        self.buf.push(kind);
-        self.buf.extend_from_slice(payload);
-    }
-
-    /// Walk all structurally complete records, oldest first, yielding
-    /// `(kind, payload, checksum_ok)`.
-    fn scan(&self) -> ScanIter<'_> {
-        ScanIter { buf: &self.buf, pos: 0 }
+    /// Append one record. The journal is unchanged on error.
+    pub fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
+        self.store.append(kind, payload)
     }
 
     /// The payload of the newest record of `kind` whose checksum verifies.
     pub fn latest_valid(&self, kind: u8) -> Option<&[u8]> {
-        let mut best = None;
-        for (k, payload, ok) in self.scan() {
-            if ok && k == kind {
-                best = Some(payload);
-            }
-        }
-        best
+        self.store.latest_valid(kind)
     }
 
     /// `(valid, corrupt)` record counts across the whole journal.
     pub fn record_counts(&self) -> (usize, usize) {
-        let mut valid = 0;
-        let mut corrupt = 0;
-        for (_, _, ok) in self.scan() {
-            if ok {
-                valid += 1;
-            } else {
-                corrupt += 1;
-            }
-        }
-        (valid, corrupt)
+        self.store.record_counts()
     }
 
     /// Number of structurally complete records (valid or not).
     pub fn len(&self) -> usize {
-        self.scan().count()
+        self.store.len()
     }
 
     /// Whether the journal holds no records.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.store.is_empty()
     }
 
     /// Chaos hook: flip one payload byte of record `index` (0-based, oldest
     /// first), leaving the length prefix intact so the scan stays aligned.
     /// Returns `false` when the record does not exist or has an empty
-    /// payload. This is what [`crate::recover::AnalyzerChaos`] uses to model
-    /// torn checkpoint writes.
+    /// payload. This models torn checkpoint writes; it is compiled only
+    /// for tests and the `chaos` feature (the chaos experiment binaries),
+    /// not into the default public API.
+    #[cfg(any(test, feature = "chaos"))]
     pub fn corrupt_record(&mut self, index: usize, byte: usize) -> bool {
-        let mut pos = 0usize;
-        let mut i = 0usize;
-        while self.buf.len() - pos >= RECORD_HEADER {
-            let len = u32::from_le_bytes(
-                self.buf[pos..pos + 4].try_into().expect("len prefix"),
-            ) as usize;
-            let start = pos + RECORD_HEADER;
-            let Some(end) = start.checked_add(len).filter(|&e| e <= self.buf.len()) else {
-                return false;
-            };
-            if i == index {
-                if len == 0 {
-                    return false;
+        self.store.corrupt_record(index, byte)
+    }
+}
+
+/// Service index in the stable [`Service::ALL`] order — the wire tag for
+/// services inside diagnosis records.
+fn service_index(s: Service) -> u8 {
+    Service::ALL.iter().position(|&x| x == s).expect("service in ALL") as u8
+}
+
+fn read_service(r: &mut Reader<'_>) -> Result<Service, CheckpointError> {
+    let i = r.u8()? as usize;
+    Service::ALL.get(i).copied().ok_or(CheckpointError::Invalid("service index"))
+}
+
+fn resource_index(k: ResourceKind) -> u8 {
+    ResourceKind::ALL.iter().position(|&x| x == k).expect("resource in ALL") as u8
+}
+
+fn read_resource(r: &mut Reader<'_>) -> Result<ResourceKind, CheckpointError> {
+    let i = r.u8()? as usize;
+    ResourceKind::ALL.get(i).copied().ok_or(CheckpointError::Invalid("resource index"))
+}
+
+fn put_dependency(out: &mut Vec<u8>, d: Dependency) {
+    match d {
+        Dependency::ServiceProcess(s) => {
+            put_u8(out, 0);
+            put_u8(out, service_index(s));
+        }
+        Dependency::MySqlReachable => put_u8(out, 1),
+        Dependency::RabbitMqReachable => put_u8(out, 2),
+        Dependency::NtpAgent => put_u8(out, 3),
+        Dependency::Libvirt => put_u8(out, 4),
+    }
+}
+
+fn read_dependency(r: &mut Reader<'_>) -> Result<Dependency, CheckpointError> {
+    Ok(match r.u8()? {
+        0 => Dependency::ServiceProcess(read_service(r)?),
+        1 => Dependency::MySqlReachable,
+        2 => Dependency::RabbitMqReachable,
+        3 => Dependency::NtpAgent,
+        4 => Dependency::Libvirt,
+        _ => return Err(CheckpointError::Invalid("dependency tag")),
+    })
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_string(r: &mut Reader<'_>) -> Result<String, CheckpointError> {
+    let bytes = r.bytes()?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| CheckpointError::Invalid("string utf8"))
+}
+
+/// Encode one [`Diagnosis`] bit-exactly (f64 fields as raw little-endian
+/// bits), so a diagnosis released before a crash and one read back from
+/// the store after a restart compare equal byte for byte.
+pub(crate) fn put_diagnosis(out: &mut Vec<u8>, d: &Diagnosis) {
+    match d.kind {
+        FaultKind::Operational { status, rpc } => {
+            put_u8(out, 0);
+            match status {
+                Some(s) => {
+                    put_u8(out, 1);
+                    put_u16(out, s);
                 }
-                self.buf[start + byte % len] ^= 0x40;
-                return true;
+                None => {
+                    put_u8(out, 0);
+                    put_u16(out, 0);
+                }
             }
-            i += 1;
-            pos = end;
+            put_u8(out, rpc as u8);
         }
-        false
+        FaultKind::Performance { observed_ms, baseline_ms } => {
+            put_u8(out, 1);
+            put_f64(out, observed_ms);
+            put_f64(out, baseline_ms);
+        }
+    }
+    put_u16(out, d.api.0);
+    put_u64(out, d.ts);
+    put_u32(out, d.matched.len() as u32);
+    for m in &d.matched {
+        put_u16(out, m.0);
+    }
+    put_f64(out, d.theta);
+    put_u64(out, d.beta_used as u64);
+    put_u64(out, d.candidates as u64);
+    put_u32(out, d.root_causes.len() as u32);
+    for rc in &d.root_causes {
+        put_u8(out, rc.node.0);
+        match &rc.cause {
+            CauseKind::Resource(k) => {
+                put_u8(out, 0);
+                put_u8(out, resource_index(*k));
+            }
+            CauseKind::Dependency(dep) => {
+                put_u8(out, 1);
+                put_dependency(out, *dep);
+            }
+            CauseKind::StaleTelemetry { stale_resources, stale_watchers } => {
+                put_u8(out, 2);
+                put_u32(out, stale_resources.len() as u32);
+                for k in stale_resources {
+                    put_u8(out, resource_index(*k));
+                }
+                put_u32(out, stale_watchers.len() as u32);
+                for dep in stale_watchers {
+                    put_dependency(out, *dep);
+                }
+            }
+        }
+        put_string(out, &rc.why);
+    }
+    match d.confidence {
+        CaptureConfidence::Exact => put_u8(out, 0),
+        CaptureConfidence::Degraded { gaps, lost } => {
+            put_u8(out, 1);
+            put_u32(out, gaps);
+            put_u32(out, lost);
+        }
+        CaptureConfidence::Cancelled => put_u8(out, 2),
     }
 }
 
-struct ScanIter<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Iterator for ScanIter<'a> {
-    type Item = (u8, &'a [u8], bool);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        if self.buf.len() - self.pos < RECORD_HEADER {
-            return None;
+/// Decode one [`Diagnosis`] written by [`put_diagnosis`].
+pub(crate) fn read_diagnosis(r: &mut Reader<'_>) -> Result<Diagnosis, CheckpointError> {
+    let kind = match r.u8()? {
+        0 => {
+            let has_status = r.u8()?;
+            let status_val = r.u16()?;
+            let status = match has_status {
+                0 => None,
+                1 => Some(status_val),
+                _ => return Err(CheckpointError::Invalid("status tag")),
+            };
+            let rpc = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CheckpointError::Invalid("rpc flag")),
+            };
+            FaultKind::Operational { status, rpc }
         }
-        let len = u32::from_le_bytes(
-            self.buf[self.pos..self.pos + 4].try_into().expect("len prefix"),
-        ) as usize;
-        let sum = u64::from_le_bytes(
-            self.buf[self.pos + 4..self.pos + 12].try_into().expect("checksum"),
-        );
-        let kind = self.buf[self.pos + 12];
-        let start = self.pos + RECORD_HEADER;
-        let end = start.checked_add(len).filter(|&e| e <= self.buf.len())?;
-        let payload = &self.buf[start..end];
-        self.pos = end;
-        Some((kind, payload, fnv1a(payload) == sum))
+        1 => FaultKind::Performance { observed_ms: r.f64()?, baseline_ms: r.f64()? },
+        _ => return Err(CheckpointError::Invalid("fault kind tag")),
+    };
+    let api = ApiId(r.u16()?);
+    let ts = r.u64()?;
+    let n_matched = r.u32()? as usize;
+    let mut matched = Vec::with_capacity(n_matched.min(1024));
+    for _ in 0..n_matched {
+        matched.push(OpSpecId(r.u16()?));
     }
+    let theta = r.f64()?;
+    let beta_used = r.u64()? as usize;
+    let candidates = r.u64()? as usize;
+    let n_causes = r.u32()? as usize;
+    let mut root_causes = Vec::with_capacity(n_causes.min(1024));
+    for _ in 0..n_causes {
+        let node = NodeId(r.u8()?);
+        let cause = match r.u8()? {
+            0 => CauseKind::Resource(read_resource(r)?),
+            1 => CauseKind::Dependency(read_dependency(r)?),
+            2 => {
+                let n_res = r.u32()? as usize;
+                let mut stale_resources = Vec::with_capacity(n_res.min(1024));
+                for _ in 0..n_res {
+                    stale_resources.push(read_resource(r)?);
+                }
+                let n_dep = r.u32()? as usize;
+                let mut stale_watchers = Vec::with_capacity(n_dep.min(1024));
+                for _ in 0..n_dep {
+                    stale_watchers.push(read_dependency(r)?);
+                }
+                CauseKind::StaleTelemetry { stale_resources, stale_watchers }
+            }
+            _ => return Err(CheckpointError::Invalid("cause tag")),
+        };
+        let why = read_string(r)?;
+        root_causes.push(RootCause { node, cause, why });
+    }
+    let confidence = match r.u8()? {
+        0 => CaptureConfidence::Exact,
+        1 => CaptureConfidence::Degraded { gaps: r.u32()?, lost: r.u32()? },
+        2 => CaptureConfidence::Cancelled,
+        _ => return Err(CheckpointError::Invalid("confidence tag")),
+    };
+    Ok(Diagnosis {
+        kind,
+        api,
+        ts,
+        matched,
+        theta,
+        beta_used,
+        candidates,
+        root_causes,
+        confidence,
+    })
 }
 
 #[cfg(test)]
@@ -375,9 +518,9 @@ mod tests {
     #[test]
     fn journal_round_trips_records_in_order() {
         let mut j = Journal::new();
-        j.append(1, b"alpha");
-        j.append(2, b"beta");
-        j.append(1, b"gamma");
+        j.append(1, b"alpha").unwrap();
+        j.append(2, b"beta").unwrap();
+        j.append(1, b"gamma").unwrap();
         assert_eq!(j.len(), 3);
         assert_eq!(j.record_counts(), (3, 0));
         assert_eq!(j.latest_valid(1), Some(&b"gamma"[..]));
@@ -392,14 +535,14 @@ mod tests {
     #[test]
     fn corrupt_record_is_skipped_not_fatal() {
         let mut j = Journal::new();
-        j.append(1, b"good-old");
-        j.append(1, b"good-new");
+        j.append(1, b"good-old").unwrap();
+        j.append(1, b"good-new").unwrap();
         assert!(j.corrupt_record(1, 3));
         assert_eq!(j.record_counts(), (1, 1));
         // Restore falls back to the older valid record; records *after* a
         // corrupt one stay reachable thanks to the length prefix.
         assert_eq!(j.latest_valid(1), Some(&b"good-old"[..]));
-        j.append(1, b"newest");
+        j.append(1, b"newest").unwrap();
         assert_eq!(j.latest_valid(1), Some(&b"newest"[..]));
     }
 
@@ -408,11 +551,79 @@ mod tests {
         assert!(Journal::new().is_empty());
         assert_eq!(Journal::new().latest_valid(1), None);
         let mut j = Journal::new();
-        j.append(1, b"payload");
+        j.append(1, b"payload").unwrap();
         // Chop off the tail: the truncated record is not yielded at all.
         let cut = Journal::from_bytes(j.bytes()[..j.bytes().len() - 3].to_vec());
         assert_eq!(cut.latest_valid(1), None);
         assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn oversized_append_is_a_typed_error_not_a_truncated_prefix() {
+        // The PR 3 journal cast `payload.len() as u32` unchecked; a
+        // payload over u32::MAX would have written a wrapped length
+        // prefix and desynchronized every later record. Now it is a
+        // typed error and the journal is untouched.
+        let mut j = Journal::with_max_record(16);
+        j.append(1, &[7u8; 16]).unwrap();
+        let err = j.append(1, &[7u8; 17]).unwrap_err();
+        assert_eq!(err, StoreError::Oversized { len: 17, max: 16 });
+        assert_eq!(j.record_counts(), (1, 0));
+        assert_eq!(j.latest_valid(1), Some(&[7u8; 16][..]));
+        // The default bound is the record format's u32 limit.
+        Journal::new().append(1, b"any reasonable payload").unwrap();
+    }
+
+    #[test]
+    fn diagnosis_codec_round_trips_every_variant() {
+        let mk = |kind, confidence, cause| Diagnosis {
+            kind,
+            api: ApiId(321),
+            ts: 9_876_543,
+            matched: vec![OpSpecId(0), OpSpecId(7)],
+            theta: 0.987_654_321,
+            beta_used: 12,
+            candidates: 5,
+            root_causes: vec![RootCause {
+                node: NodeId(3),
+                cause,
+                why: "observed at 99.4% for 3 intervals".to_string(),
+            }],
+            confidence,
+        };
+        let cases = [
+            mk(
+                FaultKind::Operational { status: Some(503), rpc: false },
+                CaptureConfidence::Exact,
+                CauseKind::Resource(ResourceKind::ALL[4]),
+            ),
+            mk(
+                FaultKind::Operational { status: None, rpc: true },
+                CaptureConfidence::Degraded { gaps: 2, lost: 9 },
+                CauseKind::Dependency(Dependency::ServiceProcess(Service::ALL[11])),
+            ),
+            mk(
+                FaultKind::Performance { observed_ms: 123.456, baseline_ms: 7.5 },
+                CaptureConfidence::Cancelled,
+                CauseKind::StaleTelemetry {
+                    stale_resources: vec![ResourceKind::ALL[0], ResourceKind::ALL[2]],
+                    stale_watchers: vec![Dependency::NtpAgent, Dependency::Libvirt],
+                },
+            ),
+        ];
+        for d in &cases {
+            let mut buf = Vec::new();
+            put_diagnosis(&mut buf, d);
+            let mut r = Reader::new(&buf);
+            let back = read_diagnosis(&mut r).unwrap();
+            r.done().unwrap();
+            assert_eq!(&back, d);
+        }
+        // Bad tags are rejected, never mis-decoded.
+        let mut buf = Vec::new();
+        put_diagnosis(&mut buf, &cases[0]);
+        buf[0] = 9;
+        assert!(read_diagnosis(&mut Reader::new(&buf)).is_err());
     }
 
     #[test]

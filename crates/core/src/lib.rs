@@ -71,7 +71,10 @@ pub use fingerprint::{
 pub use matcher::PositionIndex;
 pub use perf::{PerfFault, PerfMonitor};
 pub use rca::{CauseKind, RcaEngine, RootCause};
-pub use recover::{run_service_recoverable, AnalyzerChaos, RecoveryConfig, RecoveryStats};
+pub use recover::{
+    run_service_durable, run_service_recoverable, AnalyzerChaos, DurableConfig, DurableOutcome,
+    LibraryReload, RecoveryConfig, RecoveryStats, KIND_CHECKPOINT, KIND_DIAGNOSES, KIND_LIBRARY,
+};
 pub use report::{CaptureConfidence, Diagnosis, FaultKind};
 pub use selfwatch::{self_watch_api, self_watch_stage, SelfWatch, SELF_WATCH_API_BASE};
 pub use service::{
@@ -79,3 +82,7 @@ pub use service::{
     ServiceConfig, ServiceError, ServiceStats,
 };
 pub use window::{SlidingWindow, Snapshot};
+
+/// The durable state store the recoverable service persists to — see
+/// [`store::Store`], [`store::MemStore`] and [`store::FileStore`].
+pub use gretel_store as store;

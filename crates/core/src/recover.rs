@@ -1,9 +1,10 @@
 //! The fault-tolerant analyzer service: supervision, checkpoint/replay
-//! recovery, and honest degradation under analysis overload.
+//! recovery, durable state, and honest degradation under analysis
+//! overload.
 //!
 //! [`run_service_cfg`](crate::service::run_service_cfg) assumes its worker
 //! pool never fails. This module drops that assumption and rebuilds the
-//! pipeline around three mechanisms:
+//! pipeline around four mechanisms:
 //!
 //! * **Supervision** — each [`SnapshotAnalyzer`] worker runs jobs inside a
 //!   panic boundary. A crashed worker reports its in-flight job and dies;
@@ -17,13 +18,25 @@
 //!   merged messages the service quiesces the pool and appends the full
 //!   ingest state (analyzer window, pairer, perf detectors, per-agent
 //!   resequencer positions and ready queues, next job sequence number) to
-//!   a checksummed [`Journal`]. After a crash the service restores the
-//!   latest valid record and the agents re-ship their deterministic
-//!   streams; the restored resequencers discard the already-consumed
-//!   prefix as duplicates, so replay resumes exactly where the checkpoint
-//!   left off. Diagnoses are *output-committed*: released only when the
-//!   checkpoint that makes them unrepeatable is on the journal, so a crash
-//!   can neither lose nor duplicate a diagnosis.
+//!   a checksummed [`Store`]. After a crash the
+//!   service restores the latest valid record and the agents re-ship
+//!   their deterministic streams; the restored resequencers discard the
+//!   already-consumed prefix as duplicates, so replay resumes exactly
+//!   where the checkpoint left off. Released diagnoses travel as their
+//!   own store records ([`KIND_DIAGNOSES`]), written immediately *before*
+//!   the checkpoint that makes them unrepeatable — so a crash (in-process
+//!   or whole-process) can neither lose nor duplicate a diagnosis.
+//! * **Durability** — [`run_service_recoverable`] keeps its store in
+//!   memory ([`MemStore`]); [`run_service_durable`] takes any
+//!   [`Store`] — in practice a
+//!   [`FileStore`](gretel_store::FileStore) — and survives whole-process
+//!   kills: a fresh process pointed at the same store restores the newest
+//!   valid checkpoint, re-derives the released-diagnosis watermark from
+//!   the [`KIND_DIAGNOSES`] records, and replays to byte-identical
+//!   output. The durable store also carries the fingerprint library
+//!   ([`KIND_LIBRARY`] snapshots), enabling live hot-reload: a grown
+//!   library adopted mid-run takes effect at the next checkpoint boundary
+//!   without dropping in-flight windows.
 //! * **Budgets** — snapshot analysis runs under a per-job budget
 //!   ([`SnapshotAnalyzer::analyze_bounded`]); a stalled job is cancelled
 //!   and reported, never allowed to wedge its worker.
@@ -35,8 +48,10 @@
 
 use crate::analyzer::{Analyzer, AnalyzerStats, JobBudget, SnapshotAnalyzer, SnapshotJob};
 use crate::anomaly::scan_message;
-use crate::checkpoint::{codec, Journal};
+use crate::checkpoint::{codec, put_diagnosis, read_diagnosis};
+use crate::config::GretelConfig;
 use crate::event::FaultMark;
+use crate::fingerprint::FingerprintLibrary;
 use crate::report::Diagnosis;
 use crate::service::{
     ship_batches, BackpressurePolicy, ServiceConfig, ServiceError, ServiceStats,
@@ -47,6 +62,7 @@ use gretel_netcap::{
     batch_frames, decode_one, encode, CaptureAgent, CaptureImpairment, CaptureStats, FrameBatch,
     Resequencer,
 };
+use gretel_store::{MemStore, Store};
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
@@ -67,7 +83,7 @@ pub struct AnalyzerChaos {
     pub kill_attempts: u32,
     /// Probability that a job stalls past its budget and is cancelled.
     pub stall_prob: f64,
-    /// Probability that a checkpoint record is corrupted on the journal
+    /// Probability that a checkpoint record is corrupted on the store
     /// (flipping one payload byte), forcing restore to fall back to an
     /// older record.
     pub corrupt_prob: f64,
@@ -159,7 +175,7 @@ pub struct RecoveryConfig {
     pub max_attempts: u32,
     /// Scheduled service crashes: the n-th cycle crashes after merging
     /// this many messages (one point consumed per cycle, in order). The
-    /// service then restores from the journal and replays. An exhausted
+    /// service then restores from the store and replays. An exhausted
     /// or oversized list simply lets the run complete.
     pub crash_points: Vec<u64>,
 }
@@ -180,7 +196,7 @@ impl Default for RecoveryConfig {
 }
 
 /// What the supervision and recovery machinery did during one
-/// [`run_service_recoverable`] run.
+/// [`run_service_recoverable`] (or [`run_service_durable`]) run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryStats {
     /// Workers killed (by chaos or a real panic) and restarted.
@@ -190,11 +206,14 @@ pub struct RecoveryStats {
     /// Jobs cancelled — analysis budget exhausted or retry budget spent —
     /// and surfaced as `Cancelled` diagnoses.
     pub jobs_cancelled: u64,
-    /// Checkpoint records appended to the journal.
+    /// Checkpoint records appended to the store.
     pub checkpoints_written: u64,
     /// Checkpoint records corrupted by chaos (restore skips them).
     pub checkpoints_corrupt: u64,
-    /// State restorations after a crash (cold restarts included).
+    /// State restorations after a crash within this process — in-process
+    /// crash-point restores and post-reload re-entries. Restoring state
+    /// at *process* start (the whole-process kill arm) is counted by the
+    /// driver as a process restart, not here.
     pub restores: u64,
     /// Replayed frames discarded by restored resequencers as
     /// already-consumed duplicates.
@@ -203,10 +222,20 @@ pub struct RecoveryStats {
     /// (possible only when a corrupt checkpoint forces an older restore
     /// point); suppressed so the output holds each diagnosis exactly once.
     pub duplicate_releases_suppressed: u64,
+    /// Fingerprint-library snapshots adopted by a live hot-reload.
+    pub library_reloads: u64,
 }
 
-/// Checkpoint record kind on the journal.
-const KIND_CHECKPOINT: u8 = 1;
+/// Store record kind: one full ingest-state checkpoint.
+pub const KIND_CHECKPOINT: u8 = 1;
+/// Store record kind: a batch of released diagnoses plus the release
+/// watermark, written immediately before the checkpoint that makes their
+/// regeneration a suppressed duplicate.
+pub const KIND_DIAGNOSES: u8 = 2;
+/// Store record kind: a fingerprint-library snapshot
+/// ([`FingerprintLibrary::to_snapshot`]); the newest valid one is the
+/// library a durable restart runs with.
+pub const KIND_LIBRARY: u8 = 3;
 
 /// One agent's receiver-side stream state (always sequenced here).
 struct RecvStream {
@@ -255,9 +284,18 @@ impl RecvStream {
 }
 
 /// Serialize the receiver+analyzer state into one checkpoint payload.
-fn encode_checkpoint(analyzer_state: &[u8], next_seq: u64, streams: &[RecvStream]) -> Vec<u8> {
+/// `lib_len` records the library size the checkpoint was written under,
+/// so a restart can skip checkpoints whose (hot-reloaded) library it
+/// failed to load.
+fn encode_checkpoint(
+    analyzer_state: &[u8],
+    next_seq: u64,
+    streams: &[RecvStream],
+    lib_len: u32,
+) -> Vec<u8> {
     use codec::{put_u32, put_u64};
     let mut out = Vec::new();
+    put_u32(&mut out, lib_len);
     put_u32(&mut out, analyzer_state.len() as u32);
     out.extend_from_slice(analyzer_state);
     put_u64(&mut out, next_seq);
@@ -283,15 +321,17 @@ fn encode_checkpoint(analyzer_state: &[u8], next_seq: u64, streams: &[RecvStream
     out
 }
 
-/// Decoded checkpoint: analyzer state bytes, next job sequence number, and
-/// per-agent receiver stream state. `done` is recomputed, not stored —
-/// replay closes every stream again.
+/// Decoded checkpoint: analyzer state bytes, next job sequence number,
+/// per-agent receiver stream state, and the library size at write time.
+/// `done` is recomputed, not stored — replay closes every stream again.
+#[allow(clippy::type_complexity)]
 fn decode_checkpoint(
     payload: &[u8],
     n_agents: usize,
-) -> Result<(Vec<u8>, u64, Vec<RecvStream>), ServiceError> {
+) -> Result<(Vec<u8>, u64, Vec<RecvStream>, u32), ServiceError> {
     use crate::checkpoint::CheckpointError;
     let mut r = codec::Reader::new(payload);
+    let lib_len = r.u32()?;
     let analyzer_state = r.bytes()?.to_vec();
     let next_seq = r.u64()?;
     let n = r.u32()? as usize;
@@ -312,7 +352,70 @@ fn decode_checkpoint(
         streams.push(RecvStream { reseq, ready, done: false });
     }
     r.done()?;
-    Ok((analyzer_state, next_seq, streams))
+    Ok((analyzer_state, next_seq, streams, lib_len))
+}
+
+/// Serialize one release batch: the watermark plus `(job seq, diagnoses)`
+/// pairs, each diagnosis in the bit-exact checkpoint codec.
+fn encode_release(up_to: u64, jobs: &[(u64, Vec<Diagnosis>)]) -> Vec<u8> {
+    use codec::{put_u32, put_u64};
+    let mut out = Vec::new();
+    put_u64(&mut out, up_to);
+    put_u32(&mut out, jobs.len() as u32);
+    for (seq, ds) in jobs {
+        put_u64(&mut out, *seq);
+        put_u32(&mut out, ds.len() as u32);
+        for d in ds {
+            put_diagnosis(&mut out, d);
+        }
+    }
+    out
+}
+
+/// Decode a [`KIND_DIAGNOSES`] record back into its watermark and jobs.
+#[allow(clippy::type_complexity)]
+fn decode_release(payload: &[u8]) -> Result<(u64, Vec<(u64, Vec<Diagnosis>)>), ServiceError> {
+    let mut r = codec::Reader::new(payload);
+    let up_to = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut jobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let seq = r.u64()?;
+        let n_ds = r.u32()? as usize;
+        let mut ds = Vec::with_capacity(n_ds);
+        for _ in 0..n_ds {
+            ds.push(read_diagnosis(&mut r)?);
+        }
+        jobs.push((seq, ds));
+    }
+    r.done()?;
+    Ok((up_to, jobs))
+}
+
+/// The release watermark a restarted process must honor: the maximum
+/// `up_to` over every valid [`KIND_DIAGNOSES`] record on the store.
+fn store_watermark(store: &dyn Store) -> Result<u64, ServiceError> {
+    let mut w = 0u64;
+    for payload in store.records_of(KIND_DIAGNOSES) {
+        let (up_to, _) = decode_release(payload)?;
+        w = w.max(up_to);
+    }
+    Ok(w)
+}
+
+/// Collect the run's output from the store: every released diagnosis,
+/// ordered by job sequence number. Jobs are deduplicated by sequence
+/// (first record wins) as defense in depth; the watermark protocol means
+/// duplicates never reach the store in the first place.
+fn read_diagnoses(store: &dyn Store) -> Result<Vec<Diagnosis>, ServiceError> {
+    let mut by_seq: BTreeMap<u64, Vec<Diagnosis>> = BTreeMap::new();
+    for payload in store.records_of(KIND_DIAGNOSES) {
+        let (_, jobs) = decode_release(payload)?;
+        for (seq, ds) in jobs {
+            by_seq.entry(seq).or_insert(ds);
+        }
+    }
+    Ok(by_seq.into_values().flatten().collect())
 }
 
 type JobMsg = (u64, u32, SnapshotJob);
@@ -473,35 +576,213 @@ impl<'sc, 'env> Pool<'sc, 'env> {
     }
 }
 
+/// A fingerprint-library hot-reload scheduled into a durable run: once
+/// this many messages have merged in the current cycle, the service
+/// checkpoints, appends the snapshot to the store ([`KIND_LIBRARY`]), and
+/// re-enters with the new library — in-flight windows survive via the
+/// checkpoint, and the matcher uses the new fingerprints from the next
+/// snapshot freeze on. Snapshots should *extend* the running library
+/// (append new operations); a shrinking snapshot forces restore to fall
+/// back past every checkpoint written under the larger library.
+#[derive(Debug, Clone)]
+pub struct LibraryReload {
+    /// Fire once this cycle's merged-message count reaches this value.
+    pub at_merged: u64,
+    /// The full library snapshot ([`FingerprintLibrary::to_snapshot`]).
+    pub snapshot: Vec<u8>,
+}
+
+/// Configuration for [`run_service_durable`]: the recovery shape plus the
+/// durable-only arms (whole-process kill, library hot-reload).
+#[derive(Debug, Clone, Default)]
+pub struct DurableConfig {
+    /// Supervision, checkpoint cadence, budget, chaos, in-process crash
+    /// points — exactly as for [`run_service_recoverable`].
+    pub recovery: RecoveryConfig,
+    /// Simulated whole-process kill (SIGKILL model): once this many
+    /// messages have merged in a cycle, the function returns
+    /// [`DurableOutcome::Killed`] *without* checkpointing or committing —
+    /// everything since the last checkpoint boundary dies. The driver
+    /// re-invokes with the same store to model the process restart. One
+    /// kill per invocation.
+    pub kill_point: Option<u64>,
+    /// Scheduled library hot-reloads, consumed front to back.
+    pub reloads: Vec<LibraryReload>,
+}
+
+/// How a [`run_service_durable`] invocation ended.
+#[derive(Debug)]
+pub enum DurableOutcome {
+    /// The stream fully merged; all diagnoses are committed on the store.
+    Completed {
+        /// Released diagnoses, ordered by job sequence (read back from
+        /// the store's [`KIND_DIAGNOSES`] records).
+        diagnoses: Vec<Diagnosis>,
+        /// Transport statistics (replay-inflated, as documented on
+        /// [`run_service_recoverable`]).
+        service: ServiceStats,
+        /// Analyzer counters from the final library epoch.
+        analyzer: AnalyzerStats,
+        /// Supervision/recovery counters for this invocation.
+        recovery: RecoveryStats,
+    },
+    /// The scheduled [`DurableConfig::kill_point`] fired; uncommitted
+    /// state was discarded. Re-invoke with the same store to restart.
+    Killed {
+        /// Transport statistics up to the kill.
+        service: ServiceStats,
+        /// Supervision/recovery counters up to the kill.
+        recovery: RecoveryStats,
+    },
+}
+
+/// Cross-cycle supervisor state threaded through [`run_cycles`].
+struct RunState<'a> {
+    store: &'a mut dyn Store,
+    stats: RecoveryStats,
+    service_stats: ServiceStats,
+    /// Job seqs below this have been released; replay must not re-release.
+    released_watermark: u64,
+    crash_points: VecDeque<u64>,
+    /// Chaos corrupt-coin index: counts every checkpoint record ever
+    /// appended to this store, corrupt ones included.
+    ckpt_index: u64,
+    first_cycle: bool,
+    kill_point: Option<u64>,
+    reloads: VecDeque<LibraryReload>,
+    /// Pristine analyzer state for cold replay (no usable checkpoint).
+    initial_state: Vec<u8>,
+}
+
+impl<'a> RunState<'a> {
+    fn new(
+        store: &'a mut dyn Store,
+        cfg: &RecoveryConfig,
+        initial_state: Vec<u8>,
+        kill_point: Option<u64>,
+        reloads: Vec<LibraryReload>,
+    ) -> Result<RunState<'a>, ServiceError> {
+        let released_watermark = store_watermark(store)?;
+        let ckpt_index = gretel_store::records(store.bytes())
+            .filter(|r| r.kind == KIND_CHECKPOINT)
+            .count() as u64;
+        Ok(RunState {
+            store,
+            stats: RecoveryStats::default(),
+            service_stats: ServiceStats::default(),
+            released_watermark,
+            crash_points: cfg.crash_points.iter().copied().collect(),
+            ckpt_index,
+            first_cycle: true,
+            kill_point,
+            reloads: reloads.into(),
+            initial_state,
+        })
+    }
+}
+
 /// How one service cycle ended.
 enum CycleEnd {
     /// Stream fully merged, all jobs resolved and committed.
     Completed,
-    /// A scheduled crash point fired; uncommitted state was discarded.
+    /// A scheduled in-process crash point fired; uncommitted state was
+    /// discarded and the next cycle restores from the store.
     Crashed,
+    /// The scheduled whole-process kill fired (nothing was committed).
+    Killed,
+    /// A library reload fired after a clean checkpoint boundary; the
+    /// payload is the snapshot to re-enter with.
+    Reload(Vec<u8>),
 }
 
-/// [`run_service_cfg`](crate::service::run_service_cfg) hardened against
-/// analysis-plane failure: supervised workers, periodic checkpoints to an
-/// in-memory [`Journal`], deterministic replay after scheduled crashes,
-/// and per-job budgets. Returns the committed diagnoses (exactly-once:
-/// replay can neither lose nor duplicate one) plus transport, analyzer,
-/// and recovery statistics.
-///
-/// With no chaos and no crash points the output is byte-identical to
-/// [`run_service_cfg`](crate::service::run_service_cfg); with worker-kill
-/// chaos and crashes it *stays* identical — that is the oracle the
-/// recovery experiment checks. Note that [`ServiceStats::frames`] counts
-/// every shipped frame including replays (replayed frames also show up in
-/// [`RecoveryStats::replayed_frames`] and the capture stats'
-/// `dup_discarded`), so transport stats inflate with each crash while the
-/// diagnosis stream and [`AnalyzerStats`] do not.
-pub fn run_service_recoverable(
-    analyzer: &mut Analyzer<'_>,
-    nodes: &[NodeId],
-    traffic: &[Message],
-    cfg: &RecoveryConfig,
-) -> Result<(Vec<Diagnosis>, ServiceStats, AnalyzerStats, RecoveryStats), ServiceError> {
+/// How [`run_cycles`] ended (a [`CycleEnd`] minus the internal `Crashed`,
+/// which restarts the cycle loop instead of returning).
+enum RunEnd {
+    Completed,
+    Killed,
+    Reload(Vec<u8>),
+}
+
+/// Release every pending result below `up_to` as one [`KIND_DIAGNOSES`]
+/// store record, suppressing already-released duplicates. The record is
+/// written even when the batch is empty: the watermark it carries must
+/// survive a process restart.
+fn commit_release(
+    pool: &mut Pool<'_, '_>,
+    up_to: u64,
+    st: &mut RunState<'_>,
+    metrics: Option<&gretel_obs::PipelineMetrics>,
+) -> Result<(), ServiceError> {
+    let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Commit);
+    let mut released = 0u64;
+    let mut jobs: Vec<(u64, Vec<Diagnosis>)> = Vec::new();
+    while let Some((&seq, _)) = pool.pending.first_key_value() {
+        if seq >= up_to {
+            break;
+        }
+        let (seq, (ds, cancelled)) = pool.pending.pop_first().expect("checked non-empty");
+        if seq < st.released_watermark {
+            st.stats.duplicate_releases_suppressed += 1;
+            continue;
+        }
+        if cancelled {
+            st.stats.jobs_cancelled += 1;
+        }
+        released += ds.len() as u64;
+        jobs.push((seq, ds));
+    }
+    let payload = encode_release(up_to, &jobs);
+    st.store.append(KIND_DIAGNOSES, &payload)?;
+    st.released_watermark = st.released_watermark.max(up_to);
+    t.finish();
+    if let Some(m) = metrics {
+        m.count(gretel_obs::Stage::Commit, released);
+        m.add(gretel_obs::Meter::StoreBytes, payload.len() as u64);
+    }
+    Ok(())
+}
+
+/// One checkpoint boundary: quiesce the pool, release pending diagnoses
+/// ([`KIND_DIAGNOSES`] first — a torn tail then loses at most the
+/// checkpoint, and replay regenerates nothing that was released), append
+/// the checkpoint, maybe chaos-corrupt it, and sync the store.
+fn write_boundary(
+    pool: &mut Pool<'_, '_>,
+    analyzer: &Analyzer<'_>,
+    streams: &[RecvStream],
+    seq: u64,
+    chaos: &AnalyzerChaos,
+    st: &mut RunState<'_>,
+    metrics: Option<&gretel_obs::PipelineMetrics>,
+) -> Result<(), ServiceError> {
+    pool.quiesce()?;
+    commit_release(pool, seq, st, metrics)?;
+    let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Checkpoint);
+    let astate = analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
+    let payload = encode_checkpoint(&astate, seq, streams, analyzer.library_len() as u32);
+    st.store.append(KIND_CHECKPOINT, &payload)?;
+    t.finish();
+    if let Some(m) = metrics {
+        m.count(gretel_obs::Stage::Checkpoint, 1);
+        m.add(gretel_obs::Meter::CheckpointsWritten, 1);
+        m.add(gretel_obs::Meter::CheckpointBytes, payload.len() as u64);
+        m.add(gretel_obs::Meter::StoreBytes, payload.len() as u64);
+    }
+    st.stats.checkpoints_written += 1;
+    if let Some(byte) = chaos.corrupt(st.ckpt_index) {
+        // The checkpoint is the record just appended — the last one on
+        // the store, whatever mix of kinds precedes it.
+        let last = st.store.len().saturating_sub(1);
+        let corrupt_ok = st.store.corrupt_record(last, byte);
+        debug_assert!(corrupt_ok, "just-appended record exists");
+        st.stats.checkpoints_corrupt += 1;
+    }
+    st.ckpt_index += 1;
+    st.store.sync()?;
+    Ok(())
+}
+
+fn validate(cfg: &RecoveryConfig) -> Result<(), ServiceError> {
     assert!(cfg.service.channel_capacity > 0);
     assert!(cfg.checkpoint_every > 0);
     assert!(cfg.max_attempts > 0);
@@ -513,35 +794,50 @@ pub fn run_service_recoverable(
     if !cfg.budget.is_deterministic() {
         return Err(ServiceError::NondeterministicBudget);
     }
+    Ok(())
+}
+
+/// The supervisor loop shared by [`run_service_recoverable`] and
+/// [`run_service_durable`]: restore from the newest usable checkpoint,
+/// run one cycle (agents re-ship, restored resequencers dedup the
+/// consumed prefix), and repeat across in-process crash points until the
+/// stream completes — or a kill/reload arm ends the invocation early.
+fn run_cycles(
+    analyzer: &mut Analyzer<'_>,
+    nodes: &[NodeId],
+    traffic: &[Message],
+    cfg: &RecoveryConfig,
+    state: &mut RunState<'_>,
+) -> Result<RunEnd, ServiceError> {
     let metrics = cfg.service.metrics.as_deref();
     // Replay needs sequence numbers to dedup the re-shipped prefix.
     let mut service_cfg = cfg.service.clone();
     if service_cfg.impairment.is_none() {
         service_cfg.impairment = Some(CaptureImpairment::none());
     }
-    let initial_state = analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
-
-    let mut journal = Journal::new();
-    let mut stats = RecoveryStats::default();
-    let mut service_stats = ServiceStats::default();
-    // Committed (released) diagnoses by job sequence number.
-    let mut committed: BTreeMap<u64, Vec<Diagnosis>> = BTreeMap::new();
-    // Job seqs below this have been released; replay must not re-release.
-    let mut released_watermark = 0u64;
-    let mut crash_points: VecDeque<u64> = cfg.crash_points.iter().copied().collect();
-    let mut ckpt_index = 0u64;
-    let mut first_cycle = true;
+    let lib_len = analyzer.library_len();
 
     loop {
         // ---- Restore ----------------------------------------------------
-        let (next_seq_start, mut streams) = match journal.latest_valid(KIND_CHECKPOINT) {
-            Some(payload) => {
-                let (astate, next_seq, streams) = decode_checkpoint(payload, nodes.len())?;
+        // Newest valid checkpoint written under a library we actually
+        // have; one written under a larger (hot-reloaded) library whose
+        // snapshot record was lost or corrupted references fingerprints
+        // we cannot match — fall back past it.
+        let mut restored: Option<(Vec<u8>, u64, Vec<RecvStream>)> = None;
+        for payload in state.store.records_of(KIND_CHECKPOINT).into_iter().rev() {
+            let (astate, next_seq, streams, ck_lib) = decode_checkpoint(payload, nodes.len())?;
+            if ck_lib as usize <= lib_len {
+                restored = Some((astate, next_seq, streams));
+                break;
+            }
+        }
+        let (next_seq_start, mut streams) = match restored {
+            Some((astate, next_seq, streams)) => {
                 analyzer.restore_state(&astate)?;
                 (next_seq, streams)
             }
             None => {
-                analyzer.restore_state(&initial_state)?;
+                analyzer.restore_state(&state.initial_state)?;
                 let streams = nodes
                     .iter()
                     .map(|_| RecvStream {
@@ -553,12 +849,12 @@ pub fn run_service_recoverable(
                 (0, streams)
             }
         };
-        if !first_cycle {
-            stats.restores += 1;
+        if !state.first_cycle {
+            state.stats.restores += 1;
         }
-        first_cycle = false;
+        state.first_cycle = false;
         let replay_base: u64 = streams.iter().map(|s| s.reseq.stats().dup_discarded).sum();
-        let crash_point = crash_points.pop_front();
+        let crash_point = state.crash_points.pop_front();
 
         // ---- One cycle --------------------------------------------------
         let workers = service_cfg.effective_workers();
@@ -618,46 +914,37 @@ pub fn run_service_recoverable(
             }
             drop(stat_tx);
 
-            // A closure cannot borrow `pool` and the commit state
-            // mutably at once, so commits are inline: release every
-            // pending result below `up_to`, suppressing already-released
-            // duplicates.
-            let mut commit =
-                |pool: &mut Pool<'_, '_>, up_to: u64, stats: &mut RecoveryStats| {
-                    let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Commit);
-                    let mut released = 0u64;
-                    while let Some((&seq, _)) = pool.pending.first_key_value() {
-                        if seq >= up_to {
-                            break;
-                        }
-                        let (seq, (ds, cancelled)) =
-                            pool.pending.pop_first().expect("checked non-empty");
-                        if seq < released_watermark {
-                            stats.duplicate_releases_suppressed += 1;
-                            continue;
-                        }
-                        if cancelled {
-                            stats.jobs_cancelled += 1;
-                        }
-                        released += ds.len() as u64;
-                        committed.insert(seq, ds);
-                    }
-                    released_watermark = released_watermark.max(up_to);
-                    t.finish();
-                    if let Some(m) = metrics {
-                        m.count(gretel_obs::Stage::Commit, released);
-                    }
-                };
-
             let mut seq = next_seq_start;
             let mut merged = 0u64;
-            let mut crashed = false;
+            let mut ended = CycleEnd::Completed;
             for (st, rx) in streams.iter_mut().zip(&rxs) {
-                st.refill(rx, &mut service_stats)?;
+                st.refill(rx, &mut state.service_stats)?;
             }
             loop {
+                // A whole-process kill is a SIGKILL model: nothing gets
+                // checkpointed or committed, the uncommitted tail dies.
+                if state.kill_point.is_some_and(|p| merged >= p) {
+                    ended = CycleEnd::Killed;
+                    break;
+                }
                 if crash_point.is_some_and(|p| merged >= p) {
-                    crashed = true;
+                    ended = CycleEnd::Crashed;
+                    break;
+                }
+                // A reload, by contrast, is graceful: full checkpoint
+                // boundary first, then the snapshot record — a tear
+                // between the two loses only the reload, never state.
+                if state.reloads.front().is_some_and(|r| merged >= r.at_merged) {
+                    write_boundary(&mut pool, analyzer, &streams, seq, &cfg.chaos, state, metrics)?;
+                    let reload = state.reloads.pop_front().expect("checked non-empty");
+                    state.store.append(KIND_LIBRARY, &reload.snapshot)?;
+                    state.store.sync()?;
+                    state.stats.library_reloads += 1;
+                    if let Some(m) = metrics {
+                        m.add(gretel_obs::Meter::LibraryReloads, 1);
+                        m.add(gretel_obs::Meter::StoreBytes, reload.snapshot.len() as u64);
+                    }
+                    ended = CycleEnd::Reload(reload.snapshot);
                     break;
                 }
                 let mut best: Option<usize> = None;
@@ -679,7 +966,7 @@ pub fn run_service_recoverable(
                 let Some(i) = best else { break };
                 let (gap, msg, mark) =
                     streams[i].ready.pop_front().expect("chosen head is nonempty");
-                streams[i].refill(&rxs[i], &mut service_stats)?;
+                streams[i].refill(&rxs[i], &mut state.service_stats)?;
                 if gap > 0 {
                     analyzer.note_capture_gap(gap);
                 }
@@ -697,78 +984,210 @@ pub fn run_service_recoverable(
                 merged += 1;
 
                 if merged.is_multiple_of(cfg.checkpoint_every) {
-                    // Quiesce → checkpoint → release: outputs go out only
-                    // once the state that makes replay skip them is on the
-                    // journal.
-                    pool.quiesce()?;
-                    let t = gretel_obs::StageTimer::start(metrics, gretel_obs::Stage::Checkpoint);
-                    let astate =
-                        analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
-                    let payload = encode_checkpoint(&astate, seq, &streams);
-                    journal.append(KIND_CHECKPOINT, &payload);
-                    t.finish();
-                    if let Some(m) = metrics {
-                        m.count(gretel_obs::Stage::Checkpoint, 1);
-                        m.add(gretel_obs::Meter::CheckpointsWritten, 1);
-                        m.add(gretel_obs::Meter::CheckpointBytes, payload.len() as u64);
-                    }
-                    stats.checkpoints_written += 1;
-                    if let Some(byte) = cfg.chaos.corrupt(ckpt_index) {
-                        let (valid, _) = journal.record_counts();
-                        let corrupt_ok = journal.corrupt_record(valid.saturating_sub(1), byte);
-                        debug_assert!(corrupt_ok, "latest record exists");
-                        stats.checkpoints_corrupt += 1;
-                    }
-                    ckpt_index += 1;
-                    commit(&mut pool, seq, &mut stats);
+                    write_boundary(&mut pool, analyzer, &streams, seq, &cfg.chaos, state, metrics)?;
                 }
             }
 
-            if !crashed {
+            if matches!(ended, CycleEnd::Completed) {
                 for job in analyzer.finish_jobs_observed(metrics) {
                     pool.submit(seq, job)?;
                     seq += 1;
                 }
                 pool.quiesce()?;
                 // Final release: the stream is exhausted, nothing can be
-                // regenerated — no checkpoint needed to make it safe.
-                commit(&mut pool, seq, &mut stats);
+                // regenerated — no checkpoint needed to make it safe, but
+                // the diagnoses themselves must reach the store durably.
+                commit_release(&mut pool, seq, state, metrics)?;
+                state.store.sync()?;
                 for st in &streams {
-                    service_stats.capture.merge(&st.reseq.stats());
+                    state.service_stats.capture.merge(&st.reseq.stats());
                 }
             }
-            stats.worker_crashes += pool.worker_crashes;
-            stats.jobs_requeued += pool.jobs_requeued;
+            state.stats.worker_crashes += pool.worker_crashes;
+            state.stats.jobs_requeued += pool.jobs_requeued;
             let replay_now: u64 = streams.iter().map(|s| s.reseq.stats().dup_discarded).sum();
-            stats.replayed_frames += replay_now.saturating_sub(replay_base);
+            state.stats.replayed_frames += replay_now.saturating_sub(replay_base);
 
-            // Teardown (on crash this abandons in-flight work): dropping
-            // the receiver ends of the agent links unblocks the agents;
-            // dropping the pool's job channel ends the workers. Uncommitted
-            // pending results die with `pool`.
+            // Teardown (on crash/kill this abandons in-flight work):
+            // dropping the receiver ends of the agent links unblocks the
+            // agents; dropping the pool's job channel ends the workers.
+            // Uncommitted pending results die with `pool`.
             drop(rxs);
             drop(pool);
             while let Ok(capture) = stat_rx.recv() {
-                service_stats.capture.merge(&capture);
+                state.service_stats.capture.merge(&capture);
             }
-            Ok(if crashed { CycleEnd::Crashed } else { CycleEnd::Completed })
+            Ok(ended)
         })?;
 
         match end {
-            CycleEnd::Completed => break,
+            CycleEnd::Completed => return Ok(RunEnd::Completed),
             CycleEnd::Crashed => continue,
+            CycleEnd::Killed => return Ok(RunEnd::Killed),
+            CycleEnd::Reload(snap) => return Ok(RunEnd::Reload(snap)),
         }
     }
+}
+
+/// [`run_service_cfg`](crate::service::run_service_cfg) hardened against
+/// analysis-plane failure: supervised workers, periodic checkpoints to an
+/// in-memory [`MemStore`], deterministic replay after scheduled crashes,
+/// and per-job budgets. Returns the committed diagnoses (exactly-once:
+/// replay can neither lose nor duplicate one) plus transport, analyzer,
+/// and recovery statistics.
+///
+/// With no chaos and no crash points the output is byte-identical to
+/// [`run_service_cfg`](crate::service::run_service_cfg); with worker-kill
+/// chaos and crashes it *stays* identical — that is the oracle the
+/// recovery experiment checks. Note that [`ServiceStats::frames`] counts
+/// every shipped frame including replays (replayed frames also show up in
+/// [`RecoveryStats::replayed_frames`] and the capture stats'
+/// `dup_discarded`), so transport stats inflate with each crash while the
+/// diagnosis stream and [`AnalyzerStats`] do not.
+///
+/// For a store that outlives the process — surviving whole-process kills
+/// and carrying the fingerprint library — see [`run_service_durable`].
+pub fn run_service_recoverable(
+    analyzer: &mut Analyzer<'_>,
+    nodes: &[NodeId],
+    traffic: &[Message],
+    cfg: &RecoveryConfig,
+) -> Result<(Vec<Diagnosis>, ServiceStats, AnalyzerStats, RecoveryStats), ServiceError> {
+    validate(cfg)?;
+    let initial_state = analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
+    let mut store = MemStore::new();
+    let mut state = RunState::new(&mut store, cfg, initial_state, None, Vec::new())?;
+    let end = run_cycles(analyzer, nodes, traffic, cfg, &mut state)?;
+    debug_assert!(
+        matches!(end, RunEnd::Completed),
+        "no kill or reload arms are configured here"
+    );
 
     // One end-of-run flush of the merged capture picture. Replay inflates
     // these like it inflates `ServiceStats` (documented above): the meters
     // describe what the transport actually did, crashes included.
-    if let Some(m) = metrics {
-        service_stats.capture.record_into(m);
+    if let Some(m) = cfg.service.metrics.as_deref() {
+        state.service_stats.capture.record_into(m);
     }
 
-    let diagnoses = committed.into_values().flatten().collect();
+    let diagnoses = read_diagnoses(&*state.store)?;
+    let (service_stats, stats) = (state.service_stats, state.stats);
     Ok((diagnoses, service_stats, analyzer.stats(), stats))
+}
+
+/// The durable twin of [`run_service_recoverable`]: the same supervised,
+/// checkpointed pipeline over a caller-provided [`Store`] — in practice a
+/// [`FileStore`](gretel_store::FileStore) — so recovery survives the
+/// death of the whole process, not just a worker or a cycle.
+///
+/// One invocation models one process lifetime:
+///
+/// * **Bootstrap** — the newest valid [`KIND_LIBRARY`] snapshot on the
+///   store is adopted when it extends `lib` (a live run characterized new
+///   operations and a restart must keep matching them); otherwise `lib`'s
+///   own snapshot is appended as the base record. The analyzer is built
+///   fresh per library epoch, *without* root cause analysis.
+/// * **Restore** — the release watermark is re-derived from the store's
+///   [`KIND_DIAGNOSES`] records and replay resumes from the newest valid
+///   checkpoint written under a library we have (corrupt or torn records
+///   simply fall back to an older checkpoint, or to cold replay).
+/// * **Kill arm** — [`DurableConfig::kill_point`] returns
+///   [`DurableOutcome::Killed`] mid-stream with nothing committed since
+///   the last boundary; re-invoking with the same store restarts the
+///   process and replays to the exact diagnoses an uninterrupted run
+///   produces — zero lost, zero duplicated.
+/// * **Reload arm** — each [`LibraryReload`] checkpoints, appends the
+///   snapshot, and re-enters with the extended library; in-flight windows
+///   survive in the checkpoint and the new fingerprints match from the
+///   next snapshot freeze on. An *empty* delta (snapshot identical in
+///   coverage) leaves the output byte-identical to no reload at all.
+pub fn run_service_durable(
+    lib: &FingerprintLibrary,
+    gcfg: GretelConfig,
+    nodes: &[NodeId],
+    traffic: &[Message],
+    cfg: &DurableConfig,
+    store: &mut dyn Store,
+) -> Result<DurableOutcome, ServiceError> {
+    validate(&cfg.recovery)?;
+    let metrics = cfg.recovery.service.metrics.as_deref();
+
+    // ---- Library bootstrap ----------------------------------------------
+    let latest_snapshot = store.latest_valid(KIND_LIBRARY).map(<[u8]>::to_vec);
+    let base_snapshot = lib.to_snapshot();
+    let mut cur: Option<FingerprintLibrary> = None;
+    let mut need_base_record = true;
+    if let Some(snap) = latest_snapshot {
+        if snap == base_snapshot {
+            need_base_record = false;
+        } else {
+            let stored = FingerprintLibrary::from_snapshot(lib.catalog().clone(), &snap)?;
+            if stored.len() >= lib.len() {
+                // A previous lifetime hot-reloaded past our base: its
+                // library is the truth now.
+                cur = Some(stored);
+                need_base_record = false;
+            }
+            // A stored snapshot *smaller* than the base is stale (the
+            // caller characterized more operations offline): the base
+            // supersedes it below.
+        }
+    }
+    if need_base_record {
+        store.append(KIND_LIBRARY, &base_snapshot)?;
+        store.sync()?;
+        if let Some(m) = metrics {
+            m.add(gretel_obs::Meter::StoreBytes, base_snapshot.len() as u64);
+        }
+    }
+
+    let mut state = {
+        // Placeholder; each epoch overwrites it with that epoch's pristine
+        // export before any cycle runs.
+        let initial_state = Vec::new();
+        RunState::new(store, &cfg.recovery, initial_state, cfg.kill_point, cfg.reloads.clone())?
+    };
+
+    // ---- Library epochs --------------------------------------------------
+    let mut final_astats: Option<AnalyzerStats> = None;
+    loop {
+        let end = {
+            let lib_ref = cur.as_ref().unwrap_or(lib);
+            let mut analyzer = Analyzer::new(lib_ref, gcfg);
+            state.initial_state =
+                analyzer.export_state().ok_or(ServiceError::NotCheckpointable)?;
+            let end = run_cycles(&mut analyzer, nodes, traffic, &cfg.recovery, &mut state)?;
+            if matches!(end, RunEnd::Completed) {
+                final_astats = Some(analyzer.stats());
+            }
+            end
+        };
+        match end {
+            RunEnd::Completed => {
+                if let Some(m) = metrics {
+                    state.service_stats.capture.record_into(m);
+                }
+                let diagnoses = read_diagnoses(&*state.store)?;
+                return Ok(DurableOutcome::Completed {
+                    diagnoses,
+                    service: state.service_stats,
+                    analyzer: final_astats.expect("set on Completed"),
+                    recovery: state.stats,
+                });
+            }
+            RunEnd::Killed => {
+                return Ok(DurableOutcome::Killed {
+                    service: state.service_stats,
+                    recovery: state.stats,
+                });
+            }
+            RunEnd::Reload(snapshot) => {
+                cur = Some(FingerprintLibrary::from_snapshot(lib.catalog().clone(), &snapshot)?);
+                // Next epoch restores from the boundary checkpoint the
+                // reload just wrote — in-flight windows survive.
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -798,12 +1217,30 @@ mod tests {
     }
 
     #[test]
-    fn drop_oldest_backpressure_is_rejected() {
+    fn release_records_carry_the_watermark_across_restarts() {
+        let mut store = MemStore::new();
+        assert_eq!(store_watermark(&store).unwrap(), 0);
+        store
+            .append(KIND_DIAGNOSES, &encode_release(3, &[(0, vec![]), (2, vec![])]))
+            .unwrap();
+        store.append(KIND_DIAGNOSES, &encode_release(5, &[(4, vec![])])).unwrap();
+        // An empty release still advances the durable watermark.
+        store.append(KIND_DIAGNOSES, &encode_release(9, &[])).unwrap();
+        assert_eq!(store_watermark(&store).unwrap(), 9);
+        assert!(read_diagnoses(&store).unwrap().is_empty());
+    }
+
+    fn test_lib() -> FingerprintLibrary {
         let cat = gretel_model::Catalog::openstack();
         let dep = gretel_sim::Deployment::standard();
         let wf = gretel_model::Workflows::new(cat.clone());
         let specs = vec![wf.vm_create_spec(gretel_model::OpSpecId(0))];
-        let (lib, _) = crate::fingerprint::FingerprintLibrary::characterize(cat, &specs, &dep, 1, 1);
+        crate::fingerprint::FingerprintLibrary::characterize(cat, &specs, &dep, 1, 1).0
+    }
+
+    #[test]
+    fn drop_oldest_backpressure_is_rejected() {
+        let lib = test_lib();
         let mut analyzer = Analyzer::new(
             &lib,
             crate::config::GretelConfig { alpha: 8, ..Default::default() },
@@ -821,11 +1258,7 @@ mod tests {
 
     #[test]
     fn empty_traffic_completes_without_checkpoints() {
-        let cat = gretel_model::Catalog::openstack();
-        let dep = gretel_sim::Deployment::standard();
-        let wf = gretel_model::Workflows::new(cat.clone());
-        let specs = vec![wf.vm_create_spec(gretel_model::OpSpecId(0))];
-        let (lib, _) = crate::fingerprint::FingerprintLibrary::characterize(cat, &specs, &dep, 1, 1);
+        let lib = test_lib();
         let mut analyzer = Analyzer::new(
             &lib,
             crate::config::GretelConfig { alpha: 8, ..Default::default() },
@@ -840,5 +1273,34 @@ mod tests {
         assert!(diags.is_empty());
         assert_eq!(svc.frames, 0);
         assert_eq!(rec, RecoveryStats::default());
+    }
+
+    #[test]
+    fn durable_empty_run_bootstraps_the_library_record_once() {
+        let lib = test_lib();
+        let gcfg = crate::config::GretelConfig { alpha: 8, ..Default::default() };
+        let mut store = MemStore::new();
+        for _ in 0..2 {
+            let out = run_service_durable(
+                &lib,
+                gcfg,
+                &[NodeId(0)],
+                &[],
+                &DurableConfig::default(),
+                &mut store,
+            )
+            .expect("empty durable run completes");
+            match out {
+                DurableOutcome::Completed { diagnoses, recovery, .. } => {
+                    assert!(diagnoses.is_empty());
+                    assert_eq!(recovery.library_reloads, 0);
+                }
+                DurableOutcome::Killed { .. } => panic!("no kill point configured"),
+            }
+        }
+        // Re-running over the same store adopts the existing base record
+        // instead of appending a duplicate.
+        assert_eq!(store.records_of(KIND_LIBRARY).len(), 1);
+        assert_eq!(store.latest_valid(KIND_LIBRARY).unwrap(), lib.to_snapshot().as_slice());
     }
 }

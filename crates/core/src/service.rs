@@ -64,6 +64,8 @@ pub enum ServiceError {
     /// diverge from the original run. Use a deterministic budget
     /// ([`crate::JobBudget::Passes`] or [`crate::JobBudget::Unlimited`]).
     NondeterministicBudget,
+    /// The durable state store failed (oversized record or file I/O).
+    Store(gretel_store::StoreError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -83,6 +85,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NondeterministicBudget => {
                 write!(f, "recovery requires a deterministic analysis budget (JobBudget::WallClock cannot be replayed identically)")
             }
+            ServiceError::Store(e) => write!(f, "durable state store failed: {e}"),
         }
     }
 }
@@ -92,6 +95,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Codec(e) => Some(e),
             ServiceError::Checkpoint(e) => Some(e),
+            ServiceError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -106,6 +110,12 @@ impl From<CodecError> for ServiceError {
 impl From<CheckpointError> for ServiceError {
     fn from(e: CheckpointError) -> ServiceError {
         ServiceError::Checkpoint(e)
+    }
+}
+
+impl From<gretel_store::StoreError> for ServiceError {
+    fn from(e: gretel_store::StoreError) -> ServiceError {
+        ServiceError::Store(e)
     }
 }
 

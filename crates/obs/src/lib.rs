@@ -131,11 +131,16 @@ pub enum Meter {
     CheckpointsWritten,
     /// Total checkpoint payload bytes journaled.
     CheckpointBytes,
+    /// Total payload bytes appended to the durable state store (all
+    /// record kinds: checkpoints, released diagnoses, library snapshots).
+    StoreBytes,
+    /// Fingerprint-library snapshots adopted by a live hot-reload.
+    LibraryReloads,
 }
 
 impl Meter {
     /// Every meter.
-    pub const ALL: [Meter; 12] = [
+    pub const ALL: [Meter; 14] = [
         Meter::CaptureFrames,
         Meter::CaptureDropped,
         Meter::CaptureDuplicated,
@@ -148,6 +153,8 @@ impl Meter {
         Meter::JobQueueDepthMax,
         Meter::CheckpointsWritten,
         Meter::CheckpointBytes,
+        Meter::StoreBytes,
+        Meter::LibraryReloads,
     ];
 
     /// Number of meters.
@@ -168,6 +175,8 @@ impl Meter {
             Meter::JobQueueDepthMax => "job_queue_depth_max",
             Meter::CheckpointsWritten => "checkpoints_written",
             Meter::CheckpointBytes => "checkpoint_bytes",
+            Meter::StoreBytes => "store_bytes",
+            Meter::LibraryReloads => "library_reloads",
         }
     }
 

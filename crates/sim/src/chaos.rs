@@ -53,6 +53,19 @@ impl CrashSchedule {
         CrashSchedule { points }
     }
 
+    /// `kills` seeded whole-process kill points, each uniform in
+    /// `[1, span]` — same guarantees as [`CrashSchedule::seeded`] but on
+    /// an independent salt, so a run can layer in-process crashes and
+    /// process kills from one seed without the schedules correlating.
+    /// One point is consumed per process lifetime: the driver passes
+    /// `points[n]` to the n-th invocation and re-invokes against the same
+    /// durable store until the run completes.
+    pub fn seeded_kills(seed: u64, kills: usize, span: u64) -> CrashSchedule {
+        let span = span.max(1);
+        let points = (0..kills as u64).map(|i| 1 + mix64(seed, i, 37) % span).collect();
+        CrashSchedule { points }
+    }
+
     /// Number of scheduled crashes.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -77,6 +90,19 @@ mod tests {
         assert!(a.points.iter().all(|&p| (1..=1000).contains(&p)));
         let c = CrashSchedule::seeded(43, 8, 1000);
         assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn kill_schedules_are_independent_of_crash_schedules() {
+        let kills = CrashSchedule::seeded_kills(42, 8, 1000);
+        assert_eq!(kills, CrashSchedule::seeded_kills(42, 8, 1000));
+        assert!(kills.points.iter().all(|&p| (1..=1000).contains(&p)));
+        assert_ne!(
+            kills,
+            CrashSchedule::seeded(42, 8, 1000),
+            "kill and crash salts must not correlate"
+        );
+        assert!(CrashSchedule::seeded_kills(7, 4, 0).points.iter().all(|&p| p == 1));
     }
 
     #[test]

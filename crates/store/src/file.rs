@@ -1,0 +1,458 @@
+//! Segment-file backend: the record log as a directory of append-only
+//! files.
+//!
+//! Layout inside the store directory:
+//!
+//! * `current.seg` — the active segment; every append goes here.
+//! * `seg-000000.seg`, `seg-000001.seg`, ... — sealed segments, oldest
+//!   first. Sealed files are never written again.
+//! * `seg-NNNNNN.tmp` — an in-flight rotation (see below); at most one
+//!   exists, and only across a crash.
+//!
+//! **Rotation** seals the active segment with a two-step rename protocol:
+//! sync `current.seg`, rename it to `seg-NNNNNN.tmp`, then rename the tmp
+//! to its final `seg-NNNNNN.seg` name and start a fresh `current.seg`.
+//! Each rename is atomic, and the `.seg` suffix is the publication marker:
+//! [`FileStore::open`] treats `.seg` files as sealed-and-complete, and
+//! adopts a leftover `.tmp` (a rotation the process died inside) by
+//! completing the rename. Records never span files — an append writes a
+//! whole record to the active segment, and rotation seals whole files —
+//! so the logical log is simply the sealed segments concatenated in index
+//! order followed by the active segment.
+//!
+//! **Torn-tail truncation**: a crash mid-append can leave the active
+//! segment ending in a structurally incomplete record. On open, the
+//! active segment is physically truncated back to its last complete
+//! record ([`crate::complete_len`]); sealed segments were synced before
+//! publication, so only their mirror copy is defensively clamped. A torn
+//! *payload* that is structurally complete but checksum-invalid is kept
+//! on disk and skipped by readers, exactly like the in-memory journal.
+
+use crate::{complete_len, corrupt_offset, encode_record, Store, StoreError};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// When the file backend calls `fsync`.
+///
+/// Sealing always syncs file *data* before publishing a segment,
+/// regardless of policy — a published `.seg` name must mean "complete".
+/// The policy governs the active segment and the directory entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never fsync. Fastest; a crash can lose everything since the last
+    /// rotation. Fine for tests and throwaway runs.
+    Never,
+    /// Fsync the active segment after every append. Strongest: a crash
+    /// loses at most the record being written (a torn tail).
+    EveryAppend,
+    /// Fsync only when sealing a segment and on explicit [`Store::sync`].
+    /// The middle ground: the recoverable service calls [`Store::sync`]
+    /// at each checkpoint boundary, so committed state is durable while
+    /// per-record appends stay cheap.
+    #[default]
+    OnRotate,
+}
+
+/// Tunables for [`FileStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStoreConfig {
+    /// Seal the active segment once it reaches this many bytes. Appends
+    /// are never split: the segment that crosses the threshold is sealed
+    /// after the append completes.
+    pub rotate_bytes: usize,
+    /// When to fsync (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Largest accepted payload, clamped to the format's u32 bound.
+    pub max_record: usize,
+}
+
+impl Default for FileStoreConfig {
+    fn default() -> FileStoreConfig {
+        FileStoreConfig {
+            rotate_bytes: 1 << 20,
+            sync: SyncPolicy::default(),
+            max_record: u32::MAX as usize,
+        }
+    }
+}
+
+const CURRENT: &str = "current.seg";
+
+fn sealed_name(index: u64) -> String {
+    format!("seg-{index:06}.seg")
+}
+
+fn tmp_name(index: u64) -> String {
+    format!("seg-{index:06}.tmp")
+}
+
+/// Parse `seg-NNNNNN.<ext>` into its index.
+fn parse_segment(name: &str, ext: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(ext)?;
+    rest.parse().ok()
+}
+
+/// One sealed segment's slice of the logical mirror.
+#[derive(Debug)]
+struct Span {
+    path: PathBuf,
+    start: usize,
+    len: usize,
+}
+
+/// The record log as append-only segment files in a directory. See the
+/// module docs for the on-disk protocol.
+///
+/// ```no_run
+/// use gretel_store::{FileStore, FileStoreConfig, Store};
+///
+/// let mut s = FileStore::open("/tmp/gretel-ckpt", FileStoreConfig::default()).unwrap();
+/// s.append(1, b"checkpoint bytes").unwrap();
+/// s.sync().unwrap();
+/// // ... process dies; a later process reopens the same directory:
+/// let s2 = FileStore::open("/tmp/gretel-ckpt", FileStoreConfig::default()).unwrap();
+/// assert_eq!(s2.latest_valid(1), Some(&b"checkpoint bytes"[..]));
+/// ```
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    cfg: FileStoreConfig,
+    /// Logical mirror: sealed segments (complete prefixes) concatenated,
+    /// then the active segment. All reads are served from here.
+    buf: Vec<u8>,
+    /// Sealed segments, oldest first, with their mirror spans.
+    sealed: Vec<Span>,
+    /// Mirror bytes belonging to sealed segments (= active segment start).
+    sealed_len: usize,
+    current: File,
+    current_path: PathBuf,
+    next_seal: u64,
+    truncated_on_open: usize,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store directory: adopt any interrupted
+    /// rotation, load every sealed segment plus the active one into the
+    /// mirror, and truncate a torn tail off the active segment.
+    pub fn open(dir: impl AsRef<Path>, cfg: FileStoreConfig) -> Result<FileStore, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io("create dir", e))?;
+
+        // Inventory: sealed indices and interrupted-rotation leftovers.
+        let mut sealed_idx = Vec::new();
+        let mut tmp_idx = Vec::new();
+        let entries = fs::read_dir(&dir).map_err(|e| StoreError::io("read dir", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("read dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(i) = parse_segment(name, ".seg") {
+                sealed_idx.push(i);
+            } else if let Some(i) = parse_segment(name, ".tmp") {
+                tmp_idx.push(i);
+            }
+        }
+        // Adopt interrupted rotations: the rename to `.seg` is the only
+        // step that was missing, so finish it (unless a same-index `.seg`
+        // somehow exists already — then the tmp is stale and dropped).
+        for i in tmp_idx {
+            let tmp = dir.join(tmp_name(i));
+            if sealed_idx.contains(&i) {
+                fs::remove_file(&tmp).map_err(|e| StoreError::io("drop stale tmp", e))?;
+            } else {
+                fs::rename(&tmp, dir.join(sealed_name(i)))
+                    .map_err(|e| StoreError::io("adopt tmp segment", e))?;
+                sealed_idx.push(i);
+            }
+        }
+        sealed_idx.sort_unstable();
+
+        let mut buf = Vec::new();
+        let mut sealed = Vec::new();
+        for &i in &sealed_idx {
+            let path = dir.join(sealed_name(i));
+            let bytes = fs::read(&path).map_err(|e| StoreError::io("read segment", e))?;
+            // Sealed files were synced before publication; clamping the
+            // mirror to the complete prefix is pure defense in depth.
+            let keep = complete_len(&bytes);
+            let start = buf.len();
+            buf.extend_from_slice(&bytes[..keep]);
+            sealed.push(Span { path, start, len: keep });
+        }
+        let sealed_len = buf.len();
+
+        let current_path = dir.join(CURRENT);
+        let mut current = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&current_path)
+            .map_err(|e| StoreError::io("open active segment", e))?;
+        let mut active = Vec::new();
+        current
+            .read_to_end(&mut active)
+            .map_err(|e| StoreError::io("read active segment", e))?;
+        let keep = complete_len(&active);
+        let mut truncated_on_open = 0;
+        if keep < active.len() {
+            // Torn tail: physically cut the incomplete record so future
+            // appends extend a clean log.
+            truncated_on_open = active.len() - keep;
+            current.set_len(keep as u64).map_err(|e| StoreError::io("truncate torn tail", e))?;
+            current
+                .seek(SeekFrom::End(0))
+                .map_err(|e| StoreError::io("truncate torn tail", e))?;
+            if cfg.sync != SyncPolicy::Never {
+                current.sync_data().map_err(|e| StoreError::io("truncate torn tail", e))?;
+            }
+        }
+        buf.extend_from_slice(&active[..keep]);
+
+        let next_seal = sealed_idx.last().map_or(0, |&i| i + 1);
+        Ok(FileStore {
+            dir,
+            cfg,
+            buf,
+            sealed,
+            sealed_len,
+            current,
+            current_path,
+            next_seal,
+            truncated_on_open,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the active segment (`current.seg`) — exposed so chaos
+    /// harnesses can tear its tail between process lifetimes.
+    pub fn current_segment_path(&self) -> PathBuf {
+        self.current_path.clone()
+    }
+
+    /// Number of sealed segments.
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Bytes of torn tail [`FileStore::open`] cut off the active segment.
+    pub fn truncated_on_open(&self) -> usize {
+        self.truncated_on_open
+    }
+
+    /// Sync the directory itself so renames/creates are durable. Failure
+    /// is reported; some filesystems reject directory fsync, so callers
+    /// of last resort may ignore it — we never do, tests run on a real fs.
+    fn sync_dir(&self) -> Result<(), StoreError> {
+        File::open(&self.dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| StoreError::io("sync dir", e))
+    }
+}
+
+impl Store for FileStore {
+    fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
+        let start = self.buf.len();
+        encode_record(&mut self.buf, kind, payload, self.cfg.max_record)?;
+        if let Err(e) = self.current.write_all(&self.buf[start..]) {
+            // Keep the mirror honest: the failed record is not on disk.
+            self.buf.truncate(start);
+            return Err(StoreError::io("append", e));
+        }
+        if self.cfg.sync == SyncPolicy::EveryAppend {
+            self.current.sync_data().map_err(|e| StoreError::io("append sync", e))?;
+        }
+        if self.buf.len() - self.sealed_len >= self.cfg.rotate_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        self.current.sync_data().map_err(|e| StoreError::io("sync", e))
+    }
+
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        if self.buf.len() == self.sealed_len {
+            return Ok(()); // Empty active segment: nothing to seal.
+        }
+        // A published segment must be complete on disk: sync data before
+        // the rename, whatever the policy says about appends.
+        if self.cfg.sync != SyncPolicy::Never {
+            self.current.sync_data().map_err(|e| StoreError::io("rotate sync", e))?;
+        }
+        let index = self.next_seal;
+        let tmp = self.dir.join(tmp_name(index));
+        let fin = self.dir.join(sealed_name(index));
+        fs::rename(&self.current_path, &tmp).map_err(|e| StoreError::io("rotate", e))?;
+        fs::rename(&tmp, &fin).map_err(|e| StoreError::io("rotate", e))?;
+        self.current = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create_new(true)
+            .open(&self.current_path)
+            .map_err(|e| StoreError::io("rotate", e))?;
+        if self.cfg.sync != SyncPolicy::Never {
+            self.sync_dir()?;
+        }
+        self.sealed.push(Span {
+            path: fin,
+            start: self.sealed_len,
+            len: self.buf.len() - self.sealed_len,
+        });
+        self.sealed_len = self.buf.len();
+        self.next_seal = index + 1;
+        Ok(())
+    }
+
+    fn corrupt_record(&mut self, index: usize, byte: usize) -> bool {
+        let Some(off) = corrupt_offset(&self.buf, index, byte) else {
+            return false;
+        };
+        // Patch the byte on disk first, then mirror the flip in memory.
+        let (path, file_off) = match self.sealed.iter().find(|s| off < s.start + s.len) {
+            Some(span) => (span.path.clone(), off - span.start),
+            None => (self.current_path.clone(), off - self.sealed_len),
+        };
+        let flipped = self.buf[off] ^ 0x40;
+        let patched = OpenOptions::new().write(true).open(&path).and_then(|mut f| {
+            f.seek(SeekFrom::Start(file_off as u64))?;
+            f.write_all(&[flipped])?;
+            f.sync_data()
+        });
+        if patched.is_err() {
+            return false;
+        }
+        self.buf[off] = flipped;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("gretel-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn survives_reopen_across_rotations() {
+        let dir = tmpdir("reopen");
+        let cfg = FileStoreConfig { rotate_bytes: 64, ..FileStoreConfig::default() };
+        let mut mem = crate::MemStore::new();
+        {
+            let mut s = FileStore::open(&dir, cfg).unwrap();
+            for i in 0..20u8 {
+                let payload = vec![i; 1 + (i as usize * 7) % 40];
+                s.append(1 + i % 3, &payload).unwrap();
+                mem.append(1 + i % 3, &payload).unwrap();
+            }
+            assert!(s.sealed_segments() > 1, "rotation threshold must trip");
+            assert_eq!(s.bytes(), mem.bytes());
+        }
+        let s = FileStore::open(&dir, cfg).unwrap();
+        assert_eq!(s.bytes(), mem.bytes(), "reopen reconstructs the logical log");
+        assert_eq!(s.truncated_on_open(), 0);
+        for k in 1..=3 {
+            assert_eq!(s.latest_valid(k), mem.latest_valid(k));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmpdir("torn");
+        let cfg = FileStoreConfig::default();
+        let cur = {
+            let mut s = FileStore::open(&dir, cfg).unwrap();
+            s.append(1, b"kept-record").unwrap();
+            s.append(1, b"doomed-record").unwrap();
+            s.sync().unwrap();
+            s.current_segment_path()
+        };
+        // Tear the last record mid-payload, as a crash mid-write would.
+        let len = fs::metadata(&cur).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&cur).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+
+        let s = FileStore::open(&dir, cfg).unwrap();
+        assert!(s.truncated_on_open() > 0);
+        assert_eq!(s.latest_valid(1), Some(&b"kept-record"[..]));
+        assert_eq!(s.len(), 1);
+        // The truncation is physical: a second open sees a clean log.
+        let s2 = FileStore::open(&dir, cfg).unwrap();
+        assert_eq!(s2.truncated_on_open(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_rotation_tmp_is_adopted() {
+        let dir = tmpdir("adopt");
+        let cfg = FileStoreConfig::default();
+        let mut s = FileStore::open(&dir, cfg).unwrap();
+        s.append(7, b"sealed payload").unwrap();
+        s.rotate().unwrap();
+        s.append(7, b"active payload").unwrap();
+        drop(s);
+        // Simulate dying between the two rotation renames: demote the
+        // sealed segment back to its tmp name.
+        fs::rename(dir.join(sealed_name(0)), dir.join(tmp_name(0))).unwrap();
+
+        let s = FileStore::open(&dir, cfg).unwrap();
+        assert_eq!(s.sealed_segments(), 1, "tmp segment adopted as sealed");
+        assert!(dir.join(sealed_name(0)).exists());
+        assert!(!dir.join(tmp_name(0)).exists());
+        assert_eq!(
+            s.records_of(7),
+            vec![&b"sealed payload"[..], &b"active payload"[..]]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_reaches_disk_in_any_segment() {
+        let dir = tmpdir("corrupt");
+        let cfg = FileStoreConfig { rotate_bytes: 32, ..FileStoreConfig::default() };
+        let mut s = FileStore::open(&dir, cfg).unwrap();
+        s.append(1, b"record-zero-payload-is-long").unwrap(); // rotates
+        s.append(1, b"record-one").unwrap();
+        assert_eq!(s.sealed_segments(), 1);
+        // Corrupt one record in the sealed segment and one in the active.
+        assert!(s.corrupt_record(0, 4));
+        assert!(s.corrupt_record(1, 2));
+        assert_eq!(s.record_counts(), (0, 2));
+        drop(s);
+        let s = FileStore::open(&dir, cfg).unwrap();
+        assert_eq!(s.record_counts(), (0, 2), "corruption persisted to disk");
+        assert_eq!(s.latest_valid(1), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_append_leaves_store_and_disk_unchanged() {
+        let dir = tmpdir("oversize");
+        let cfg = FileStoreConfig { max_record: 16, ..FileStoreConfig::default() };
+        let mut s = FileStore::open(&dir, cfg).unwrap();
+        s.append(1, b"fits").unwrap();
+        let err = s.append(1, &[0u8; 17]).unwrap_err();
+        assert_eq!(err, StoreError::Oversized { len: 17, max: 16 });
+        assert_eq!(s.len(), 1);
+        drop(s);
+        let s = FileStore::open(&dir, cfg).unwrap();
+        assert_eq!(s.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,388 @@
+//! # gretel-store — durable state for the GRETEL analyzer
+//!
+//! The fault-tolerant analyzer service checkpoints its ingest state and
+//! releases diagnoses through an append-only record log. This crate owns
+//! that log: a common record format (length-prefixed, FNV-1a-checksummed),
+//! a [`Store`] trait over it, and two backends —
+//!
+//! * [`MemStore`]: the whole log in one `Vec<u8>`. This is the PR 3
+//!   in-process journal behavior; tests and the in-process recovery
+//!   experiment arms use it.
+//! * [`FileStore`]: the log as append-only segment files in a directory,
+//!   with atomic tmp+rename rotation, torn-tail truncation on open and a
+//!   configurable [`SyncPolicy`]. This is what lets the *whole process*
+//!   die and restart without losing committed state.
+//!
+//! ## Record format
+//!
+//! Every record is `u32 len | u64 fnv1a(payload) | u8 kind | payload`,
+//! little-endian ([`RECORD_HEADER`] = 13 bytes of header). The length
+//! prefix keeps a scan aligned past a corrupted payload, so one bad
+//! record never hides the records after it; the checksum makes corruption
+//! detectable, so readers use the newest record that still verifies. A
+//! record whose bytes end early (a torn write) is structurally incomplete
+//! and is not yielded at all.
+//!
+//! Readers never interpret payloads — kinds and payload codecs belong to
+//! the caller (`gretel-core` defines checkpoint, diagnosis-release and
+//! fingerprint-library records on top of this).
+//!
+//! ```
+//! use gretel_store::{MemStore, Store};
+//!
+//! let mut s = MemStore::new();
+//! s.append(1, b"first").unwrap();
+//! s.append(1, b"second").unwrap();
+//! assert_eq!(s.latest_valid(1), Some(&b"second"[..]));
+//! assert_eq!(s.record_counts(), (2, 0));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod file;
+
+pub use file::{FileStore, FileStoreConfig, SyncPolicy};
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An appended payload does not fit the record format's u32 length
+    /// prefix (or the backend's configured bound). Appending it would have
+    /// silently truncated the length prefix and desynchronized every scan
+    /// after it, so it is rejected up front and the store is unchanged.
+    Oversized {
+        /// The rejected payload length.
+        len: usize,
+        /// The largest accepted payload length.
+        max: usize,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// Which operation (`"open"`, `"write"`, `"rotate"`, ...).
+        op: &'static str,
+        /// The underlying error, rendered.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Oversized { len, max } => {
+                write!(f, "record payload of {len} bytes exceeds the store bound of {max}")
+            }
+            StoreError::Io { op, detail } => write!(f, "store {op} failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    pub(crate) fn io(op: &'static str, e: std::io::Error) -> StoreError {
+        StoreError::Io { op, detail: e.to_string() }
+    }
+}
+
+/// Per-record header: u32 payload length, u64 FNV-1a checksum, u8 kind.
+pub const RECORD_HEADER: usize = 4 + 8 + 1;
+
+/// FNV-1a 64-bit over a byte slice — the record checksum. Not
+/// cryptographic; it detects the corruption chaos injectors (and real
+/// disks) produce: flipped or torn bytes inside a record.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One structurally complete record yielded by [`records`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record<'a> {
+    /// Byte offset of the record header in the scanned buffer.
+    pub offset: usize,
+    /// The caller-defined record kind byte.
+    pub kind: u8,
+    /// The payload bytes (possibly corrupt — see `valid`).
+    pub payload: &'a [u8],
+    /// Whether the payload checksum verifies.
+    pub valid: bool,
+}
+
+/// Walk all structurally complete records in a log buffer, oldest first.
+/// A torn tail (bytes that end before the record they start is complete)
+/// is not yielded.
+pub fn records(buf: &[u8]) -> Records<'_> {
+    Records { buf, pos: 0 }
+}
+
+/// Iterator returned by [`records`].
+#[derive(Debug, Clone)]
+pub struct Records<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for Records<'a> {
+    type Item = Record<'a>;
+
+    fn next(&mut self) -> Option<Record<'a>> {
+        if self.buf.len() - self.pos < RECORD_HEADER {
+            return None;
+        }
+        let len = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4].try_into().expect("len prefix"),
+        ) as usize;
+        let sum = u64::from_le_bytes(
+            self.buf[self.pos + 4..self.pos + 12].try_into().expect("checksum"),
+        );
+        let kind = self.buf[self.pos + 12];
+        let start = self.pos + RECORD_HEADER;
+        let end = start.checked_add(len).filter(|&e| e <= self.buf.len())?;
+        let payload = &self.buf[start..end];
+        let offset = self.pos;
+        self.pos = end;
+        Some(Record { offset, kind, payload, valid: fnv1a(payload) == sum })
+    }
+}
+
+/// Length of the structurally complete prefix of a log buffer: everything
+/// up to (but excluding) a torn tail record. This is what
+/// [`FileStore::open`] truncates the newest segment file to.
+pub fn complete_len(buf: &[u8]) -> usize {
+    records(buf).last().map_or(0, |r| r.offset + RECORD_HEADER + r.payload.len())
+}
+
+/// Encode one record onto `out`, rejecting payloads over `max`.
+pub(crate) fn encode_record(
+    out: &mut Vec<u8>,
+    kind: u8,
+    payload: &[u8],
+    max: usize,
+) -> Result<(), StoreError> {
+    let max = max.min(u32::MAX as usize);
+    if payload.len() > max {
+        return Err(StoreError::Oversized { len: payload.len(), max });
+    }
+    out.reserve(RECORD_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Absolute buffer offset of the byte to flip for a chaos corruption of
+/// record `index` (0-based, oldest first): payload byte `byte % len`, the
+/// same convention the PR 3 in-memory journal used. `None` when the record
+/// does not exist or has an empty payload.
+pub(crate) fn corrupt_offset(buf: &[u8], index: usize, byte: usize) -> Option<usize> {
+    let r = records(buf).nth(index)?;
+    if r.payload.is_empty() {
+        return None;
+    }
+    Some(r.offset + RECORD_HEADER + byte % r.payload.len())
+}
+
+/// An append-only log of length-prefixed, checksummed records.
+///
+/// Writers take `&mut self`; reads borrow from the store's logical byte
+/// mirror, so both backends serve them without I/O. The trait is
+/// object-safe — the analyzer service takes `&mut dyn Store`, so callers
+/// pick durability per run (in-memory for tests and in-process chaos,
+/// segment files for whole-process crash recovery).
+pub trait Store {
+    /// Append one record. The store is unchanged on error.
+    fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError>;
+
+    /// The logical log bytes, oldest record first (all segments
+    /// concatenated for a file-backed store).
+    fn bytes(&self) -> &[u8];
+
+    /// Flush buffered writes to durable storage (no-op for [`MemStore`]).
+    fn sync(&mut self) -> Result<(), StoreError>;
+
+    /// Seal the active segment and start a new one (no-op for
+    /// [`MemStore`], which has no segments).
+    fn rotate(&mut self) -> Result<(), StoreError>;
+
+    /// Chaos hook: flip one payload byte of record `index` (0-based,
+    /// oldest first), leaving the length prefix intact so the scan stays
+    /// aligned. Returns `false` when the record does not exist or has an
+    /// empty payload. File-backed stores flip the byte on disk too, so a
+    /// reopen sees the corruption.
+    fn corrupt_record(&mut self, index: usize, byte: usize) -> bool;
+
+    /// The payload of the newest record of `kind` whose checksum verifies.
+    fn latest_valid(&self, kind: u8) -> Option<&[u8]> {
+        let mut best = None;
+        for r in records(self.bytes()) {
+            if r.valid && r.kind == kind {
+                best = Some(r.payload);
+            }
+        }
+        best
+    }
+
+    /// Payloads of every checksum-valid record of `kind`, oldest first.
+    fn records_of(&self, kind: u8) -> Vec<&[u8]> {
+        records(self.bytes())
+            .filter(|r| r.valid && r.kind == kind)
+            .map(|r| r.payload)
+            .collect()
+    }
+
+    /// `(valid, corrupt)` record counts across the whole log.
+    fn record_counts(&self) -> (usize, usize) {
+        let mut valid = 0;
+        let mut corrupt = 0;
+        for r in records(self.bytes()) {
+            if r.valid {
+                valid += 1;
+            } else {
+                corrupt += 1;
+            }
+        }
+        (valid, corrupt)
+    }
+
+    /// Number of structurally complete records (valid or not).
+    fn len(&self) -> usize {
+        records(self.bytes()).count()
+    }
+
+    /// Whether the store holds no records.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The whole log in one in-memory buffer — the PR 3 journal behavior.
+///
+/// [`MemStore::with_max_record`] tightens the accepted payload size below
+/// the format's u32 bound, mainly so the oversized-append path is testable
+/// without multi-gigabyte allocations.
+#[derive(Debug, Clone)]
+pub struct MemStore {
+    buf: Vec<u8>,
+    max_record: usize,
+}
+
+impl MemStore {
+    /// An empty store accepting any payload the record format can hold.
+    pub fn new() -> MemStore {
+        MemStore { buf: Vec::new(), max_record: u32::MAX as usize }
+    }
+
+    /// An empty store rejecting payloads longer than `max` bytes.
+    pub fn with_max_record(max: usize) -> MemStore {
+        MemStore { buf: Vec::new(), max_record: max.min(u32::MAX as usize) }
+    }
+
+    /// Rebuild from raw log bytes (e.g. read back from elsewhere). No
+    /// validation happens here; corrupt records surface during
+    /// [`Store::latest_valid`], and a torn tail is simply never yielded.
+    pub fn from_bytes(buf: Vec<u8>) -> MemStore {
+        MemStore { buf, max_record: u32::MAX as usize }
+    }
+}
+
+impl Default for MemStore {
+    fn default() -> MemStore {
+        MemStore::new()
+    }
+}
+
+impl Store for MemStore {
+    fn append(&mut self, kind: u8, payload: &[u8]) -> Result<(), StoreError> {
+        encode_record(&mut self.buf, kind, payload, self.max_record)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+
+    fn corrupt_record(&mut self, index: usize, byte: usize) -> bool {
+        match corrupt_offset(&self.buf, index, byte) {
+            Some(off) => {
+                self.buf[off] ^= 0x40;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memstore_round_trips_records_in_order() {
+        let mut s = MemStore::new();
+        s.append(1, b"alpha").unwrap();
+        s.append(2, b"beta").unwrap();
+        s.append(1, b"gamma").unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.record_counts(), (3, 0));
+        assert_eq!(s.latest_valid(1), Some(&b"gamma"[..]));
+        assert_eq!(s.latest_valid(2), Some(&b"beta"[..]));
+        assert_eq!(s.latest_valid(9), None);
+        assert_eq!(s.records_of(1), vec![&b"alpha"[..], &b"gamma"[..]]);
+
+        let s2 = MemStore::from_bytes(s.bytes().to_vec());
+        assert_eq!(s2.latest_valid(1), Some(&b"gamma"[..]));
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_not_fatal() {
+        let mut s = MemStore::new();
+        s.append(1, b"good-old").unwrap();
+        s.append(1, b"good-new").unwrap();
+        assert!(s.corrupt_record(1, 3));
+        assert_eq!(s.record_counts(), (1, 1));
+        assert_eq!(s.latest_valid(1), Some(&b"good-old"[..]));
+        // Records *after* a corrupt one stay reachable (length prefix).
+        s.append(1, b"newest").unwrap();
+        assert_eq!(s.latest_valid(1), Some(&b"newest"[..]));
+        // Out-of-range / empty-payload corruption targets report failure.
+        assert!(!s.corrupt_record(17, 0));
+        s.append(3, b"").unwrap();
+        assert!(!s.corrupt_record(3, 0));
+    }
+
+    #[test]
+    fn torn_tail_is_not_yielded() {
+        let mut s = MemStore::new();
+        s.append(1, b"payload").unwrap();
+        let full = s.bytes().to_vec();
+        let cut = MemStore::from_bytes(full[..full.len() - 3].to_vec());
+        assert_eq!(cut.latest_valid(1), None);
+        assert!(cut.is_empty());
+        assert_eq!(complete_len(cut.bytes()), 0);
+        assert_eq!(complete_len(&full), full.len());
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_store_unchanged() {
+        let mut s = MemStore::with_max_record(8);
+        s.append(1, b"12345678").unwrap();
+        let err = s.append(1, b"123456789").unwrap_err();
+        assert_eq!(err, StoreError::Oversized { len: 9, max: 8 });
+        assert_eq!(s.len(), 1, "failed append must not disturb the log");
+        assert_eq!(s.latest_valid(1), Some(&b"12345678"[..]));
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -12,10 +12,19 @@ cargo test -q --offline --workspace
 # must be clippy-clean.
 cargo clippy --offline --all-targets -- -D warnings
 
+# The chaos feature (test-only corruption hooks compiled into non-test
+# builds) has no default consumer; keep it compiling and lint-clean.
+cargo clippy --offline -p gretel-core --features chaos --all-targets -- -D warnings
+
 # Crash-recovery smoke: one §7.2 scenario under worker kills, scheduled
-# service crashes and journal corruption; asserts zero diagnoses
-# lost/duplicated and byte-identical output (see EXPERIMENTS.md).
-cargo run --release --offline -q -p gretel-bench --bin recovery -- --smoke
+# service crashes, store corruption, plus FileStore-backed whole-process
+# kill/restart arms (clean tail and torn tail); asserts zero diagnoses
+# lost/duplicated and byte-identical output (see EXPERIMENTS.md). The
+# durable arms persist segments under an explicit tmpdir cleaned on exit.
+RECOVERY_STORE_DIR="$(mktemp -d)"
+trap 'rm -rf "$RECOVERY_STORE_DIR"' EXIT
+cargo run --release --offline -q -p gretel-bench --bin recovery -- \
+  --smoke --store-dir "$RECOVERY_STORE_DIR"
 
 # Observability smoke: one §7.2 scenario with metrics off/disabled/enabled;
 # asserts identical diagnoses, deterministic snapshots, export round trips
@@ -31,5 +40,5 @@ scripts/md_hygiene.sh
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline \
   -p gretel -p gretel-core -p gretel-model -p gretel-netcap \
   -p gretel-sim -p gretel-telemetry -p gretel-bench -p gretel-hansel \
-  -p gretel-obs
+  -p gretel-obs -p gretel-store
 cargo test -q --offline --doc --workspace

@@ -14,6 +14,9 @@
 //!   injection;
 //! * [`netcap`] — capture agents, wire codec, pcap dumps;
 //! * [`telemetry`] — resource/watcher series and level-shift detection;
+//! * [`store`] — the durable append-only state store (checksummed
+//!   records, segment rotation, torn-tail recovery) behind the
+//!   fault-tolerant service;
 //! * [`core`] — GRETEL itself: fingerprints, the sliding-window anomaly
 //!   detector, operation detection and root cause analysis;
 //! * [`hansel`] — the HANSEL (CoNEXT '15) baseline.
@@ -44,6 +47,7 @@ pub use gretel_hansel as hansel;
 pub use gretel_model as model;
 pub use gretel_netcap as netcap;
 pub use gretel_sim as sim;
+pub use gretel_store as store;
 pub use gretel_telemetry as telemetry;
 
 /// Where each part of the paper lives in this repository.

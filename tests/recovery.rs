@@ -9,9 +9,11 @@
 //! a cancelled job's faults surface as `Cancelled`, never as `Exact` —
 //! and, since budgets are deterministic, identically across replays.
 
+use gretel::core::store::{FileStore, FileStoreConfig, MemStore, Store};
 use gretel::core::{
-    run_service_cfg, run_service_recoverable, Analyzer, AnalyzerChaos, CaptureConfidence,
-    GretelConfig, JobBudget, RecoveryConfig, ServiceConfig, ServiceError,
+    run_service_cfg, run_service_durable, run_service_recoverable, Analyzer, AnalyzerChaos,
+    CaptureConfidence, DurableConfig, DurableOutcome, GretelConfig, JobBudget, LibraryReload,
+    RecoveryConfig, RecoveryStats, ServiceConfig, ServiceError,
 };
 use gretel::model::{
     Catalog, HttpMethod, Message, NodeId, OpSpecId, OperationSpec, Service, Workflows,
@@ -230,6 +232,120 @@ fn corrupt_checkpoints_fall_back_and_suppress_duplicate_releases() {
     assert!(rec.checkpoints_corrupt > 0, "corruption chaos fired: {rec:?}");
     assert_eq!(rec.checkpoints_corrupt, rec.checkpoints_written);
     assert_eq!(rec.restores, 1);
+}
+
+/// One complete durable run over `store`, panicking on a kill.
+fn run_durable_to_completion(
+    lib: &gretel_core::FingerprintLibrary,
+    reloads: Vec<LibraryReload>,
+    store: &mut dyn Store,
+) -> (Vec<gretel::core::Diagnosis>, RecoveryStats) {
+    let fx = fixture();
+    let cfg = DurableConfig {
+        recovery: RecoveryConfig { checkpoint_every: 64, ..RecoveryConfig::default() },
+        kill_point: None,
+        reloads,
+    };
+    match run_service_durable(lib, gcfg(), &fx.nodes, &fx.messages, &cfg, store)
+        .expect("durable run completes")
+    {
+        DurableOutcome::Completed { diagnoses, recovery, .. } => (diagnoses, recovery),
+        DurableOutcome::Killed { .. } => panic!("no kill point configured"),
+    }
+}
+
+#[test]
+fn durable_filestore_kill_restart_is_exactly_once() {
+    // Whole-process SIGKILL model: each invocation is one process
+    // lifetime over the same on-disk store. Two kills mid-stream, then a
+    // clean third lifetime — the final diagnosis stream must be
+    // byte-identical to the uninterrupted pipeline's.
+    let fx = fixture();
+    let expected = reference(None);
+    let dir = std::env::temp_dir()
+        .join(format!("gretel-test-durable-kill-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let kill_points = [150u64, 80];
+    // Small segments so the restarts also read back through sealed files.
+    let fcfg = FileStoreConfig { rotate_bytes: 4096, ..Default::default() };
+    let mut invocations = 0usize;
+    let last_recovery;
+    let diags = loop {
+        let mut store = FileStore::open(&dir, fcfg).expect("open durable store");
+        let cfg = DurableConfig {
+            recovery: RecoveryConfig { checkpoint_every: 64, ..RecoveryConfig::default() },
+            kill_point: kill_points.get(invocations).copied(),
+            reloads: Vec::new(),
+        };
+        let out = run_service_durable(&fx.lib, gcfg(), &fx.nodes, &fx.messages, &cfg, &mut store)
+            .expect("durable run completes or is killed");
+        invocations += 1;
+        assert!(invocations <= kill_points.len() + 1, "kill schedule must converge");
+        match out {
+            DurableOutcome::Completed { diagnoses, recovery, .. } => {
+                last_recovery = recovery;
+                break diagnoses;
+            }
+            DurableOutcome::Killed { .. } => {} // next loop iteration restarts
+        }
+    };
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(invocations, 3, "both kills fired before completion");
+    assert_eq!(diags, expected, "zero diagnoses lost, zero duplicated");
+    assert!(
+        last_recovery.replayed_frames > 0,
+        "the restarted process replayed the consumed prefix: {last_recovery:?}"
+    );
+}
+
+#[test]
+fn empty_library_delta_reload_is_byte_identical() {
+    // Hot-reload oracle: adopting a snapshot with no new operations must
+    // leave the committed stream byte-identical to never reloading.
+    let fx = fixture();
+    let (no_reload, _) = run_durable_to_completion(&fx.lib, Vec::new(), &mut MemStore::new());
+    assert_eq!(no_reload, reference(None), "durable == plain pipeline with no failures");
+
+    let reloads = vec![LibraryReload { at_merged: 100, snapshot: fx.lib.to_snapshot() }];
+    let (with_reload, rec) =
+        run_durable_to_completion(&fx.lib, reloads, &mut MemStore::new());
+    assert_eq!(rec.library_reloads, 1, "the reload fired: {rec:?}");
+    assert!(rec.restores >= 1, "a reload re-enters from its boundary checkpoint");
+    assert_eq!(with_reload, no_reload, "an empty delta must be invisible in the output");
+}
+
+#[test]
+fn mid_run_library_addition_is_matched_at_next_freeze() {
+    use gretel::model::OpSpecId;
+    let fx = fixture();
+
+    // A base library that has never seen image_upload (OpSpecId(1)).
+    let cat = Catalog::openstack();
+    let dep = Deployment::standard();
+    let wf = Workflows::new(cat.clone());
+    let base_specs = vec![wf.vm_create_spec(OpSpecId(0))];
+    let (base_lib, _) =
+        gretel_core::FingerprintLibrary::characterize(cat, &base_specs, &dep, 2, 21);
+
+    let (full_diags, _) = run_durable_to_completion(&fx.lib, Vec::new(), &mut MemStore::new());
+    let (control, _) = run_durable_to_completion(&base_lib, Vec::new(), &mut MemStore::new());
+    let reloads = vec![LibraryReload { at_merged: 1, snapshot: fx.lib.to_snapshot() }];
+    let (reloaded, rec) = run_durable_to_completion(&base_lib, reloads, &mut MemStore::new());
+
+    assert_eq!(rec.library_reloads, 1, "the reload fired: {rec:?}");
+    // Without the reload the matcher cannot name image_upload at all.
+    assert!(control.iter().all(|d| !d.matched.contains(&OpSpecId(1))));
+    // With it, the image-upload faults match the hot-loaded fingerprint
+    // at their snapshot freeze — and the whole stream equals a run that
+    // had the full library from the start: the in-flight window survived
+    // the swap.
+    assert!(
+        reloaded.iter().any(|d| d.matched.contains(&OpSpecId(1))),
+        "hot-loaded fingerprint must match: {reloaded:?}"
+    );
+    assert_eq!(reloaded, full_diags);
 }
 
 proptest! {

@@ -77,6 +77,7 @@ pub struct Analyzer<'a> {
     stats: AnalyzerStats,
     auto_alpha: Option<AutoAlpha>,
     pending_gap: u32,
+    graph: crate::graph::ServiceGraph,
 }
 
 /// Dynamic window sizing: the paper derives α from the observed packet
@@ -125,6 +126,7 @@ impl<'a> Analyzer<'a> {
             stats: AnalyzerStats::default(),
             auto_alpha: None,
             pending_gap: 0,
+            graph: crate::graph::ServiceGraph::new(),
         }
     }
 
@@ -156,6 +158,13 @@ impl<'a> Analyzer<'a> {
     /// Processing counters.
     pub fn stats(&self) -> AnalyzerStats {
         self.stats
+    }
+
+    /// The cross-service dependency graph mined from observed traffic so
+    /// far. Feed it to [`crate::graph::attribute_cascades`] to label a
+    /// run's diagnoses with root-vs-symptom cascade attribution.
+    pub fn traffic_graph(&self) -> &crate::graph::ServiceGraph {
+        &self.graph
     }
 
     /// Number of fingerprints in the library this analyzer matches
@@ -233,6 +242,11 @@ impl<'a> Analyzer<'a> {
         }
 
         let def = self.lib.catalog().get(msg.api);
+
+        // Mine the cross-service dependency graph from the same observed
+        // traffic: catalog noise classification, byte-scan error verdict —
+        // never ground truth.
+        self.graph.observe(msg, def.noise.is_some(), !matches!(fault, FaultMark::None));
 
         let mut ev =
             Event::new(msg, def.is_rpc(), def.is_state_change(), def.noise.is_some(), fault);
@@ -427,6 +441,7 @@ impl<'a> Analyzer<'a> {
             }
         }
         put_u32(&mut out, self.pending_gap);
+        self.graph.export_state(&mut out);
         Some(out)
     }
 
@@ -491,6 +506,7 @@ impl<'a> Analyzer<'a> {
             _ => return Err(CheckpointError::Invalid("auto-alpha tag")),
         };
         let pending_gap = r.u32()?;
+        let graph = crate::graph::ServiceGraph::import_state(&mut r)?;
         r.done()?;
 
         // Everything decoded: commit, perf last (its import validates too).
@@ -503,6 +519,7 @@ impl<'a> Analyzer<'a> {
         self.stats = stats;
         self.auto_alpha = auto_alpha;
         self.pending_gap = pending_gap;
+        self.graph = graph;
         Ok(())
     }
 
@@ -671,6 +688,7 @@ impl<'a> SnapshotAnalyzer<'a> {
                 candidates: 0,
                 root_causes: Vec::new(),
                 confidence: CaptureConfidence::Cancelled,
+                attribution: None,
             });
         }
         for &idx in &job.errors {
@@ -690,6 +708,7 @@ impl<'a> SnapshotAnalyzer<'a> {
                 candidates: 0,
                 root_causes: Vec::new(),
                 confidence: CaptureConfidence::Cancelled,
+                attribution: None,
             });
         }
         out
@@ -815,6 +834,7 @@ impl<'a> SnapshotAnalyzer<'a> {
             candidates: outcome.candidates,
             root_causes,
             confidence,
+            attribution: None,
         }
     }
 }

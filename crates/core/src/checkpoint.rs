@@ -508,6 +508,9 @@ pub(crate) fn read_diagnosis(r: &mut Reader<'_>) -> Result<Diagnosis, Checkpoint
         candidates,
         root_causes,
         confidence,
+        // Attribution is a post-pass artifact, recomputed from the mined
+        // traffic graph after replay; it is not persisted per-diagnosis.
+        attribution: None,
     })
 }
 
@@ -590,6 +593,7 @@ mod tests {
                 why: "observed at 99.4% for 3 intervals".to_string(),
             }],
             confidence,
+            attribution: None,
         };
         let cases = [
             mk(

@@ -43,6 +43,7 @@ pub mod event;
 pub mod explain;
 pub mod fasthash;
 pub mod fingerprint;
+pub mod graph;
 pub mod lcs;
 pub mod matcher;
 pub mod noise_filter;
@@ -68,6 +69,7 @@ pub use fingerprint::{
     generate_fingerprint, trace_of, Atom, CandidatePattern, CharacterizationStats, Fingerprint,
     FingerprintLibrary,
 };
+pub use graph::{attribute_cascades, Attribution, CascadeParams, EdgeStats, EvidenceHop, ServiceGraph};
 pub use matcher::PositionIndex;
 pub use perf::{PerfFault, PerfMonitor};
 pub use rca::{CauseKind, RcaEngine, RootCause};

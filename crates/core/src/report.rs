@@ -62,7 +62,7 @@ impl CaptureConfidence {
 }
 
 /// One complete diagnosis.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Diagnosis {
     /// Fault classification.
     pub kind: FaultKind,
@@ -83,6 +83,36 @@ pub struct Diagnosis {
     pub root_causes: Vec<RootCause>,
     /// Capture quality of the snapshot this diagnosis was made from.
     pub confidence: CaptureConfidence,
+    /// Cascade attribution (root vs symptom), set by the state-graph
+    /// post-pass ([`crate::graph::attribute_cascades`]) when this fault is
+    /// part of a detected failure-propagation cascade. `None` — and
+    /// skipped entirely in serialized output — for ordinary single-service
+    /// faults, so reports without cascade structure are byte-identical to
+    /// the flat RCA path.
+    pub attribution: Option<crate::graph::Attribution>,
+}
+
+// Manual impl (not derived) so a `None` attribution is omitted from the
+// output entirely: a run without cascade structure must serialize
+// byte-identically to the pre-graph flat path.
+impl serde::Serialize for Diagnosis {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("api".to_string(), self.api.to_value()),
+            ("ts".to_string(), self.ts.to_value()),
+            ("matched".to_string(), self.matched.to_value()),
+            ("theta".to_string(), self.theta.to_value()),
+            ("beta_used".to_string(), self.beta_used.to_value()),
+            ("candidates".to_string(), self.candidates.to_value()),
+            ("root_causes".to_string(), self.root_causes.to_value()),
+            ("confidence".to_string(), self.confidence.to_value()),
+        ];
+        if let Some(attr) = &self.attribution {
+            fields.push(("attribution".to_string(), attr.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 impl Diagnosis {
@@ -151,6 +181,9 @@ impl Diagnosis {
                 out.push_str(&format!("  root cause on {}: {}\n", rc.node, rc.why));
             }
         }
+        if let Some(attr) = &self.attribution {
+            out.push_str(&attr.render());
+        }
         out
     }
 }
@@ -186,6 +219,7 @@ mod tests {
                 why: "glance-service reported down".into(),
             }],
             confidence: CaptureConfidence::Exact,
+            attribution: None,
         };
         let s = d.render(&[spec("image.upload.canonical")]);
         assert!(s.contains("OPERATIONAL"));
@@ -208,6 +242,7 @@ mod tests {
             candidates: 4,
             root_causes: vec![],
             confidence: CaptureConfidence::Degraded { gaps: 2, lost: 7 },
+            attribution: None,
         };
         let s = d.render(&[spec("op")]);
         assert!(s.contains("capture DEGRADED"));
@@ -227,6 +262,7 @@ mod tests {
             candidates: 0,
             root_causes: vec![],
             confidence: CaptureConfidence::Cancelled,
+            attribution: None,
         };
         let s = d.render(&[]);
         assert!(s.contains("analysis CANCELLED"));
@@ -245,6 +281,7 @@ mod tests {
             candidates: 3,
             root_causes: vec![],
             confidence: CaptureConfidence::Exact,
+            attribution: None,
         };
         let s = d.render(&[]);
         assert!(s.contains("PERFORMANCE"));

@@ -30,7 +30,7 @@ pub mod workflows;
 pub use api::{ApiDef, ApiId, ApiKind, HttpMethod, NoiseClass, RpcStyle};
 pub use catalog::{Catalog, PUBLIC_REST_APIS};
 pub use dsl::{parse as parse_dsl, DslError};
-pub use message::{ConnKey, Direction, Message, MessageId, OpInstanceId, WireKind};
+pub use message::{ConnKey, Direction, Message, MessageId, OpInstanceId, ProjectId, WireKind};
 pub use operation::{Category, LatencyClass, OpSpecId, OperationSpec, Step};
 pub use service::{Dependency, NodeId, Service};
 pub use tempest::TempestSuite;

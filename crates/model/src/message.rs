@@ -25,6 +25,22 @@ pub struct MessageId(pub u64);
 )]
 pub struct OpInstanceId(pub u64);
 
+/// Identifier of the tenant (Keystone project) an operation instance runs
+/// under. OpenStack scopes every API call to a project; the simulator
+/// assigns instances to projects so faults can target one tenant's traffic
+/// (`FaultScope::Project`) and the sharded pipeline can partition by
+/// tenant. Ground truth only — the analyzer never reads it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ProjectId(pub u32);
+
+impl fmt::Display for ProjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "project-{}", self.0)
+    }
+}
+
 /// Request or response half of an exchange.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)] // variants are self-describing

@@ -21,7 +21,7 @@ use gretel_model::message::{
 };
 use gretel_model::{
     ApiId, ApiKind, Catalog, ConnKey, Dependency, Direction, HttpMethod, Message, MessageId,
-    NodeId, OpInstanceId, OperationSpec, RpcStyle, Service, WireKind,
+    NodeId, OpInstanceId, OperationSpec, ProjectId, RpcStyle, Service, WireKind,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,6 +106,10 @@ pub struct RunConfig {
     /// GRETEL can exploit it once deployed). Off by default — LIBERTY-era
     /// deployments did not have it.
     pub correlation_ids: bool,
+    /// Number of tenant projects; instance `i` runs as project
+    /// `i % projects`. Lets [`crate::faults::FaultScope::Project`] target
+    /// one tenant's traffic. Values `0` and `1` both mean a single tenant.
+    pub projects: u32,
 }
 
 impl Default for RunConfig {
@@ -119,6 +123,7 @@ impl Default for RunConfig {
             load_capacity: 48,
             noise: NoiseConfig::default(),
             correlation_ids: false,
+            projects: 1,
         }
     }
 }
@@ -138,6 +143,8 @@ pub struct InstanceOutcome {
     pub aborted: bool,
     /// The API whose invocation failed, if any.
     pub failed_api: Option<ApiId>,
+    /// Tenant project the instance ran as (`inst % RunConfig::projects`).
+    pub project: ProjectId,
 }
 
 /// Everything one simulation run produced.
@@ -254,6 +261,12 @@ impl<'a> Runner<'a> {
         Runner { catalog, deployment, plan, config }
     }
 
+    /// Tenant project of instance `inst` (round-robin over
+    /// [`RunConfig::projects`]).
+    fn project_of(&self, inst: usize) -> ProjectId {
+        ProjectId(inst as u32 % self.config.projects.max(1))
+    }
+
     /// Execute one instance of each spec in `specs`. Instance `i` gets
     /// [`OpInstanceId`]`(i)`; messages come back in timestamp order.
     pub fn run(&self, specs: &[&OperationSpec]) -> Execution {
@@ -352,6 +365,7 @@ impl<'a> Runner<'a> {
                             finished_at: t,
                             aborted: s.aborted,
                             failed_api: s.failed_api,
+                            project: self.project_of(inst),
                         });
                         st.remaining -= 1;
                     } else {
@@ -442,8 +456,23 @@ impl<'a> Runner<'a> {
         let db_down = !def.is_rpc()
             && !step.dst.is_infrastructure()
             && self.plan.is_singleton_down(Service::MySql, t);
-        let (error, abort) = if let Some(f) = self.plan.api_error(step.api, inst_id, occ) {
+        let project = self.project_of(inst);
+        let (error, abort) = if let Some(f) =
+            self.plan.api_error(step.api, inst_id, project, occ, t)
+        {
             (Some(f.error.clone()), f.abort_op)
+        } else if self.plan.partition_cut(step.src, step.dst, inst_id, t) {
+            // The link between the two services is (possibly partially)
+            // severed: the caller's connection attempt or RPC cast times
+            // out. Both processes stay up, so no watcher ever flags this —
+            // the cascade RCA graph walk is what has to find it.
+            let e = match &def.kind {
+                ApiKind::Rest { .. } => InjectedError::RestStatus { status: 503, reason: None },
+                ApiKind::Rpc { .. } => {
+                    InjectedError::RpcException { class: "MessagingTimeout".to_string() }
+                }
+            };
+            (Some(e), true)
         } else if broker_down {
             (Some(InjectedError::RpcException { class: "MessagingTimeout".to_string() }), true)
         } else if db_down {

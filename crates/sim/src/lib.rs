@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cascade;
 pub mod chaos;
 pub mod deployment;
 pub mod engine;
@@ -50,12 +51,17 @@ pub mod resources;
 pub mod scenario;
 pub mod stream;
 
+pub use cascade::{
+    cascade_suite, Cascade, CascadeRule, CascadeScenario, CascadeTruth, Primary, PrimaryFault,
+    SecondaryEffect, TriggeredFault,
+};
 pub use chaos::CrashSchedule;
 pub use deployment::{Deployment, NodeSpec};
-pub use engine::{ms, secs, EventQueue, SimTime, SECOND};
+pub use engine::{ms, secs, splitmix64, EventQueue, SimTime, SECOND};
 pub use executor::{Execution, InstanceOutcome, NoiseConfig, RunConfig, Runner, WatcherSample};
 pub use faults::{
-    ApiFault, DepFault, FaultPlan, FaultScope, InjectedError, LatencyFault, ResourceFault,
+    ApiFault, DepFault, FaultPlan, FaultScope, InjectedError, LatencyFault, PartitionFault,
+    ResourceFault, TimedApiFault,
 };
 pub use report::{instance_timeline, summary};
 pub use resources::{Baseline, ResourceKind, ResourceSample};

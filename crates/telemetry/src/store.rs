@@ -163,10 +163,12 @@ impl TelemetryStore {
     }
 
     /// Telemetry series on `node` that are **stale** over `[from, until)`:
-    /// the node reported this metric at some point, but the series ends
-    /// before `from`, so the fault window has no samples at all. A stale
-    /// series looks exactly like a healthy one to
-    /// [`TelemetryStore::resource_anomalies`] (an empty window is skipped);
+    /// the node reported this metric at some point before `until`, but the
+    /// series went silent — either entirely before `from`, or mid-window,
+    /// dying at least three typical sampling intervals before the window's
+    /// end. A stale series looks exactly like a healthy one to
+    /// [`TelemetryStore::resource_anomalies`] (an empty window is skipped,
+    /// and a window whose tail is missing carries no anomalous points);
     /// this query makes the distinction explicit so root cause analysis can
     /// downgrade "no resource anomaly found" to "telemetry was missing"
     /// instead of asserting health from absent data.
@@ -177,11 +179,13 @@ impl TelemetryStore {
         until: SimTime,
     ) -> Vec<ResourceKind> {
         let mut out = Vec::new();
+        let horizon = self.collection_horizon();
         for kind in ResourceKind::ALL {
             let Some(series) = self.resource_series(node, kind) else {
                 continue; // never reported: genuinely no telemetry, not stale
             };
-            if series.window(from, until).is_empty() && !series.window(0, from).is_empty() {
+            let ts: Vec<SimTime> = series.window(0, until).iter().map(|&(t, _)| t).collect();
+            if series_went_silent(&ts, from, until, horizon) {
                 out.push(kind);
             }
         }
@@ -189,8 +193,9 @@ impl TelemetryStore {
     }
 
     /// Dependency watchers on `node` that are stale over `[from, until)`:
-    /// they reported before `from` but have no sample inside the window, so
-    /// [`TelemetryStore::unhealthy_deps`] would read their silence as
+    /// they reported before `until` but went silent (entirely before the
+    /// window, or mid-window for at least three typical report intervals),
+    /// so [`TelemetryStore::unhealthy_deps`] would read their silence as
     /// health.
     pub fn watcher_staleness(
         &self,
@@ -199,13 +204,14 @@ impl TelemetryStore {
         until: SimTime,
     ) -> Vec<Dependency> {
         let mut out = Vec::new();
+        let horizon = self.collection_horizon();
         for (&(n, dep), states) in &self.watchers {
             if n != node {
                 continue;
             }
-            let in_window = states.iter().any(|&(ts, _)| ts >= from && ts < until);
-            let before = states.iter().any(|&(ts, _)| ts < from);
-            if !in_window && before {
+            let ts: Vec<SimTime> =
+                states.iter().map(|&(t, _)| t).filter(|&t| t < until).collect();
+            if series_went_silent(&ts, from, until, horizon) {
                 out.push(dep);
             }
         }
@@ -213,11 +219,55 @@ impl TelemetryStore {
         out
     }
 
+    /// Latest timestamp of any sample in the store — how far telemetry
+    /// collection as a whole has progressed. Mid-window staleness is
+    /// judged against this: a node is only "dead" if *other* telemetry
+    /// kept arriving after it went quiet, not when collection itself
+    /// stopped (end of run).
+    fn collection_horizon(&self) -> SimTime {
+        let res = self.resources.values().filter_map(|s| s.last_ts()).max();
+        let wat = self.watchers.values().filter_map(|s| s.last().map(|&(t, _)| t)).max();
+        res.max(wat).unwrap_or(0)
+    }
+
     /// Latest watcher verdict for `(node, dep)` at or before `ts`.
     pub fn dependency_state(&self, node: NodeId, dep: Dependency, ts: SimTime) -> Option<bool> {
         let states = self.watchers.get(&(node, dep))?;
         states.iter().rev().find(|&&(t, _)| t <= ts).map(|&(_, h)| h)
     }
+}
+
+/// Whether a sample stream (timestamps before `until`, ascending) went
+/// silent with respect to the window `[from, until)`.
+///
+/// Two shapes count as silent:
+///
+/// * the stream reported before `from` but has nothing inside the window
+///   at all (classic staleness), or
+/// * the stream died **mid-window**: its last report precedes `until` by
+///   more than three typical sampling intervals (median inter-sample gap),
+///   so the tail of the fault window has no coverage even though the
+///   window as a whole is non-empty.
+///
+/// A stream with a single report (no cadence to estimate) only matches the
+/// first shape; an empty stream is absent, not stale. The mid-window shape
+/// is additionally bounded by `horizon` (how far collection as a whole has
+/// progressed), so a global end of collection never reads as one node
+/// dying.
+fn series_went_silent(ts: &[SimTime], from: SimTime, until: SimTime, horizon: SimTime) -> bool {
+    let Some(&last) = ts.last() else {
+        return false; // never reported before `until`
+    };
+    if last < from {
+        return true; // silent across the entire window
+    }
+    if ts.len() < 2 {
+        return false;
+    }
+    let mut gaps: Vec<SimTime> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_unstable();
+    let typical = gaps[gaps.len() / 2];
+    typical > 0 && last.saturating_add(typical.saturating_mul(3)) < until.min(horizon)
 }
 
 #[cfg(test)]
@@ -339,6 +389,38 @@ mod tests {
         assert!(store.resource_staleness(NodeId(7), secs(10), secs(20)).is_empty());
         // A node that never reported anything is absent, not stale.
         assert!(store.resource_staleness(NodeId(8), secs(60), secs(80)).is_empty());
+    }
+
+    #[test]
+    fn staleness_flags_series_that_die_mid_window() {
+        // 1 Hz cadence up to t=30s, silence after — and a fault window
+        // [20s, 60s) that *straddles* the death. The window is non-empty,
+        // so the old whole-window rule would read it as covered; the tail
+        // (30s..60s, thirty missed samples) says otherwise. A second node
+        // keeps reporting through t=60s: collection as a whole continued,
+        // so the silence is this node dying, not the run ending.
+        let mut samples: Vec<ResourceSample> = (0..30)
+            .map(|i| ResourceSample {
+                ts: secs(i),
+                node: NodeId(7),
+                kind: ResourceKind::CpuPercent,
+                value: 10.0,
+            })
+            .collect();
+        samples.extend((0..60).map(|i| ResourceSample {
+            ts: secs(i),
+            node: NodeId(8),
+            kind: ResourceKind::CpuPercent,
+            value: 10.0,
+        }));
+        let store = TelemetryStore::from_samples(&samples, &[]);
+        assert_eq!(
+            store.resource_staleness(NodeId(7), secs(20), secs(60)),
+            vec![ResourceKind::CpuPercent]
+        );
+        // A window ending within three intervals of the last sample is
+        // still considered covered.
+        assert!(store.resource_staleness(NodeId(7), secs(20), secs(32)).is_empty());
     }
 
     #[test]

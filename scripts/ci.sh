@@ -31,6 +31,13 @@ cargo run --release --offline -q -p gretel-bench --bin recovery -- \
 # and the instrumentation overhead gate (see EXPERIMENTS.md).
 cargo run --release --offline -q -p gretel-bench --bin observability -- --smoke
 
+# Failure-propagation smoke: one cascade scenario through the state-graph
+# root-vs-symptom post-pass (perfect attribution asserted), one §7.2
+# scenario re-run through the graph path as a byte-identity oracle, and a
+# replay-determinism check (see EXPERIMENTS.md). Does not clobber
+# results/propagation.json.
+cargo run --release --offline -q -p gretel-bench --bin propagation -- --smoke
+
 # Markdown hygiene: intra-repo links resolve and every results/*.json
 # artifact is reachable from README.md or EXPERIMENTS.md.
 scripts/md_hygiene.sh

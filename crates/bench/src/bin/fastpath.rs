@@ -72,7 +72,13 @@ struct FastpathResults {
 
 fn stream(wb: &Workbench, fault_every: usize, n: usize) -> Vec<Message> {
     let specs: Vec<_> = wb.suite.specs().iter().step_by(13).cloned().collect();
-    let cfg = StreamConfig { total_messages: n, fault_every, pps: 50_000, concurrent_ops: 64 };
+    let cfg = StreamConfig {
+        total_messages: n,
+        fault_every,
+        pps: 50_000,
+        concurrent_ops: 64,
+        ..StreamConfig::default()
+    };
     SyntheticStream::new(wb.catalog.clone(), &specs, cfg).collect()
 }
 

@@ -42,7 +42,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for &fault_every in &[100usize, 500, 1000, 1500, 2000] {
-        let cfg = StreamConfig { total_messages: total, fault_every, pps: 50_000, concurrent_ops: 64 };
+        let cfg = StreamConfig {
+            total_messages: total,
+            fault_every,
+            pps: 50_000,
+            concurrent_ops: 64,
+            ..StreamConfig::default()
+        };
         let stream: Vec<Message> =
             SyntheticStream::new(wb.catalog.clone(), &specs, cfg).collect();
         // Wire bytes: what the monitoring network carries.

@@ -1046,6 +1046,7 @@ mod tests {
                 conn: gretel_model::ConnKey::default(),
                 payload,
                 correlation_id: None,
+                project: None,
                 truth_op: None,
                 truth_noise: false,
             };

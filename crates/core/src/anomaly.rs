@@ -70,7 +70,7 @@ pub fn scan_rpc_error(payload: &[u8]) -> bool {
 /// #     src_service: Service::Nova, dst_service: Service::Neutron, api: ApiId(1),
 /// #     direction: Direction::Response,
 /// #     wire: WireKind::Rest { method: HttpMethod::Get, uri: "/v2.1/servers".into(), status: None },
-/// #     conn: ConnKey::default(), payload: vec![], correlation_id: None, truth_op: None,
+/// #     conn: ConnKey::default(), payload: vec![], correlation_id: None, project: None, truth_op: None,
 /// #     truth_noise: false,
 /// # };
 /// msg.payload = b"HTTP/1.1 503 Service Unavailable".to_vec();
@@ -315,6 +315,7 @@ mod tests {
             conn,
             payload: vec![],
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         }
@@ -349,6 +350,7 @@ mod tests {
             conn: ConnKey::default(),
             payload: vec![],
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         };

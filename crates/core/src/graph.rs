@@ -217,6 +217,24 @@ impl ServiceGraph {
         }
         Ok(g)
     }
+
+    /// Fold another graph's observations into this one.
+    ///
+    /// [`ServiceGraph::observe`] is additive per message — counts sum,
+    /// `first_error_ts` is a min (with `u64::MAX` = "none yet"),
+    /// `last_error_ts` a max — so when a message stream is partitioned
+    /// across pipeline shards, with every message observed by exactly one
+    /// shard, merging the per-shard graphs reproduces *exactly* the graph a
+    /// single unsharded pass would have built. The cross-shard cascade
+    /// post-pass (DESIGN.md §15) relies on this equality.
+    pub fn merge(&mut self, other: &ServiceGraph) {
+        for (mine, theirs) in self.edges.iter_mut().zip(&other.edges) {
+            mine.requests += theirs.requests;
+            mine.errors += theirs.errors;
+            mine.first_error_ts = mine.first_error_ts.min(theirs.first_error_ts);
+            mine.last_error_ts = mine.last_error_ts.max(theirs.last_error_ts);
+        }
+    }
 }
 
 /// One hop of an evidence chain, walking from the symptomatic service
@@ -472,6 +490,7 @@ mod tests {
             conn: Default::default(),
             payload: Vec::new(),
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         }
@@ -694,5 +713,92 @@ mod tests {
         let g2 = ServiceGraph::import_state(&mut r).expect("roundtrip");
         r.done().expect("fully consumed");
         assert_eq!(g, g2);
+    }
+
+    /// Regression: a corrupt or future-format snapshot whose edge index
+    /// bytes exceed the N×N matrix must be rejected with a typed codec
+    /// error, never used as a raw index (out-of-bounds panic pre-fix).
+    #[test]
+    fn corrupt_snapshot_edge_index_is_rejected() {
+        let mut g = ServiceGraph::new();
+        g.observe(&msg(Service::Nova, Service::Cinder, Direction::Request, 5, None), false, false);
+        let mut bytes = Vec::new();
+        g.export_state(&mut bytes);
+        // One observed edge: the caller index is the first byte after the
+        // u32 edge count. 0xFF is far beyond Service::ALL.
+        for idx_byte in [4usize, 5] {
+            let mut bad = bytes.clone();
+            bad[idx_byte] = 0xFF;
+            let mut r = crate::checkpoint::codec::Reader::new(&bad);
+            let err = ServiceGraph::import_state(&mut r).expect_err("corrupt index must fail");
+            assert!(matches!(
+                err,
+                crate::checkpoint::CheckpointError::Invalid("service graph edge index")
+            ));
+        }
+    }
+
+    /// Regression: an edge *count* larger than the N×N matrix is rejected
+    /// up front instead of driving a multi-gigabyte read loop.
+    #[test]
+    fn corrupt_snapshot_edge_count_is_rejected() {
+        let mut bytes = Vec::new();
+        crate::checkpoint::codec::put_u32(&mut bytes, (N * N + 1) as u32);
+        let mut r = crate::checkpoint::codec::Reader::new(&bytes);
+        let err = ServiceGraph::import_state(&mut r).expect_err("oversized count must fail");
+        assert!(matches!(
+            err,
+            crate::checkpoint::CheckpointError::Invalid("service graph edge count")
+        ));
+    }
+
+    /// Regression: a snapshot truncated mid-edge surfaces `Truncated`, not
+    /// a partial graph.
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let mut g = ServiceGraph::new();
+        g.observe(&msg(Service::Nova, Service::Cinder, Direction::Request, 5, None), false, false);
+        let mut bytes = Vec::new();
+        g.export_state(&mut bytes);
+        for cut in 1..bytes.len() {
+            let mut r = crate::checkpoint::codec::Reader::new(&bytes[..bytes.len() - cut]);
+            assert!(
+                matches!(
+                    ServiceGraph::import_state(&mut r),
+                    Err(crate::checkpoint::CheckpointError::Truncated)
+                ),
+                "cut {cut} bytes: truncation must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_partitioned_observations_reproduces_the_whole() {
+        // Partition a small traffic pattern over three graphs and merge:
+        // the result must equal one graph observing everything.
+        let msgs = [
+            msg(Service::Nova, Service::Cinder, Direction::Request, 5, None),
+            msg(Service::Cinder, Service::Nova, Direction::Response, 9, Some(500)),
+            msg(Service::Nova, Service::Glance, Direction::Request, 11, None),
+            msg(Service::Glance, Service::Nova, Direction::Response, 12, Some(200)),
+            msg(Service::Cinder, Service::Nova, Direction::Response, 20, Some(500)),
+        ];
+        let mut whole = ServiceGraph::new();
+        for (i, m) in msgs.iter().enumerate() {
+            whole.observe(m, false, i == 1 || i == 4);
+        }
+        let mut parts = [ServiceGraph::new(), ServiceGraph::new(), ServiceGraph::new()];
+        for (i, m) in msgs.iter().enumerate() {
+            parts[i % 3].observe(m, false, i == 1 || i == 4);
+        }
+        let mut merged = ServiceGraph::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(whole, merged);
+        // min/max semantics: the first/last error stamps survive no matter
+        // which partition saw them.
+        assert_eq!(merged.edge(Service::Nova, Service::Cinder).first_error_ts, 9);
+        assert_eq!(merged.edge(Service::Nova, Service::Cinder).last_error_ts, 20);
     }
 }

@@ -53,6 +53,7 @@ pub mod recover;
 pub mod report;
 pub mod selfwatch;
 pub mod service;
+pub mod shard;
 pub mod window;
 
 pub use analyzer::{
@@ -79,9 +80,15 @@ pub use recover::{
 };
 pub use report::{CaptureConfidence, Diagnosis, FaultKind};
 pub use selfwatch::{self_watch_api, self_watch_stage, SelfWatch, SELF_WATCH_API_BASE};
+#[allow(deprecated)] // re-exported so downstream deprecation warnings point here
+pub use service::run_service_sharded;
 pub use service::{
-    run_service, run_service_cfg, run_service_checked, run_service_sharded, BackpressurePolicy,
+    resolve_shard_workers, run_service, run_service_cfg, run_service_checked, BackpressurePolicy,
     ServiceConfig, ServiceError, ServiceStats,
+};
+pub use shard::{
+    canonical_order, encode_diagnoses, run_sharded, run_sharded_durable, ShardReport,
+    ShardedConfig, ShardedOutcome,
 };
 pub use window::{SlidingWindow, Snapshot};
 

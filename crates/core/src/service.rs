@@ -156,6 +156,48 @@ fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
 }
 
+/// Resolve the per-shard analysis-pool width for an `shards`-way sharded
+/// pipeline (see [`crate::shard`]).
+///
+/// `raw_env` is the raw `GRETEL_WORKERS` value (the *total* worker budget
+/// across all shards, same meaning as for [`run_service`]); `available` is
+/// the machine parallelism. The result is clamped so the product
+/// `shards × per-shard workers` can neither silently oversubscribe the
+/// machine nor drop to zero:
+///
+/// * unset / `0` / unparseable → the unsharded default budget
+///   (`min(available, 4)`), spread over the shards;
+/// * a budget below the shard count would give some shard zero workers →
+///   warn and give every shard one worker;
+/// * a budget above `available` would oversubscribe → warn and clamp the
+///   budget to `available` before dividing.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `available == 0`.
+pub fn resolve_shard_workers(shards: usize, raw_env: Option<&str>, available: usize) -> usize {
+    assert!(shards > 0, "need at least one shard");
+    assert!(available > 0, "need at least one core");
+    let mut budget = parse_workers_env(raw_env).unwrap_or_else(|| available.min(4));
+    if budget > available {
+        eprintln!(
+            "gretel: GRETEL_WORKERS={budget} oversubscribes the machine \
+             ({available} cores) across {shards} shard(s); clamping to {available}"
+        );
+        budget = available;
+    }
+    if budget < shards {
+        // Reached with the machine-default budget too, so don't claim the
+        // env var was set.
+        eprintln!(
+            "gretel: worker budget {budget} is below the shard count \
+             ({shards}); every shard gets one worker"
+        );
+        return 1;
+    }
+    budget / shards
+}
+
 /// What an agent does when its link to the analyzer is full.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum BackpressurePolicy {
@@ -269,6 +311,19 @@ pub fn run_service(
 }
 
 /// [`run_service`] with an explicit analysis-pool width.
+///
+/// Historical name: this predates tenant sharding and only widens the
+/// worker pool of a single pipeline — it never partitioned anything. The
+/// tenant-sharded pipeline lives in [`crate::shard`]; for a wider pool use
+/// [`run_service_cfg`] with [`ServiceConfig::workers`], which is exactly
+/// what this shim does. Keeping one underlying entry point means the
+/// inline/threaded/pool-width byte-identity oracles all exercise the same
+/// code path.
+#[deprecated(
+    since = "0.1.0",
+    note = "worker pools are a ServiceConfig concern: use run_service_cfg with \
+            ServiceConfig::workers; for tenant sharding see gretel_core::shard"
+)]
 pub fn run_service_sharded(
     analyzer: &mut Analyzer<'_>,
     nodes: &[NodeId],
@@ -747,6 +802,9 @@ mod tests {
         let nodes: Vec<NodeId> = dep.nodes().iter().map(|n| n.id).collect();
         for workers in [1, 2, 4, 8] {
             let mut threaded = Analyzer::new(&lib, gcfg);
+            // The deprecated shim must keep delegating to run_service_cfg
+            // until it is removed outright.
+            #[allow(deprecated)]
             let (got, _, astats) =
                 run_service_sharded(&mut threaded, &nodes, &exec.messages, 32, workers);
             assert_eq!(got, expected, "pool width {workers}");
@@ -931,5 +989,37 @@ mod tests {
     fn workers_env_zero_falls_back_with_warning() {
         assert_eq!(parse_workers_env(Some("0")), None);
         assert!(ServiceConfig::default().effective_workers() >= 1);
+    }
+
+    // resolve_shard_workers, like parse_workers_env above, is tested
+    // against raw values rather than the real environment.
+    #[test]
+    fn shard_workers_zero_and_unparseable_fall_back_to_the_default_budget() {
+        // Default budget on an 8-core box is min(8, 4) = 4, split 2 ways.
+        assert_eq!(resolve_shard_workers(2, Some("0"), 8), 2);
+        assert_eq!(resolve_shard_workers(2, Some("many"), 8), 2);
+        assert_eq!(resolve_shard_workers(2, None, 8), 2);
+        // ... and on a 2-core box the budget is 2.
+        assert_eq!(resolve_shard_workers(2, Some("0"), 2), 1);
+    }
+
+    #[test]
+    fn shard_workers_oversubscription_is_clamped() {
+        // A 64-worker budget on 8 cores clamps to 8, split over 4 shards.
+        assert_eq!(resolve_shard_workers(4, Some("64"), 8), 2);
+        // Clamping can then trip the below-shard-count floor.
+        assert_eq!(resolve_shard_workers(4, Some("64"), 2), 1);
+    }
+
+    #[test]
+    fn shard_workers_never_drop_to_zero() {
+        // Budget below the shard count: every shard still gets one worker.
+        assert_eq!(resolve_shard_workers(16, Some("8"), 32), 1);
+        assert_eq!(resolve_shard_workers(3, Some("2"), 8), 1);
+        // Exact division stays exact.
+        assert_eq!(resolve_shard_workers(4, Some("8"), 8), 2);
+        for shards in 1..40 {
+            assert!(resolve_shard_workers(shards, None, 4) >= 1, "shards={shards}");
+        }
     }
 }

@@ -308,6 +308,7 @@ mod tests {
             conn: ConnKey::default(),
             payload,
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         }

@@ -29,7 +29,11 @@ pub struct OpInstanceId(pub u64);
 /// under. OpenStack scopes every API call to a project; the simulator
 /// assigns instances to projects so faults can target one tenant's traffic
 /// (`FaultScope::Project`) and the sharded pipeline can partition by
-/// tenant. Ground truth only — the analyzer never reads it.
+/// tenant. Unlike the `truth_*` fields this is *wire-visible* — a real
+/// capture can read the project from the Keystone token scope on every
+/// request — so [`Message::project`] may be used for shard routing.
+/// Detection itself still never reads it: within a shard the analyzer is
+/// project-blind.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
 )]
@@ -152,6 +156,11 @@ pub struct Message {
     /// when the deployment does not propagate ids — GRETEL must work
     /// either way.
     pub correlation_id: Option<u64>,
+    /// Keystone project the call is scoped to, read from the request's
+    /// auth token on the wire. `None` for traffic with no project scope
+    /// (service heartbeats, token issuance itself). Used only to route
+    /// messages to pipeline shards — detection never reads it.
+    pub project: Option<ProjectId>,
     /// Ground truth: which operation instance produced this message.
     /// `None` for background noise. **Evaluation only.**
     pub truth_op: Option<OpInstanceId>,
@@ -293,6 +302,7 @@ mod tests {
             conn: ConnKey::default(),
             payload: vec![],
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         };
@@ -341,6 +351,7 @@ mod tests {
             conn: ConnKey::default(),
             payload: vec![],
             correlation_id: None,
+            project: None,
             truth_op: Some(OpInstanceId(9)),
             truth_noise: false,
         };

@@ -46,6 +46,7 @@ pub fn is_relevant(msg: &Message) -> bool {
 ///     conn: ConnKey::default(),
 ///     payload: vec![],
 ///     correlation_id: None,
+///     project: None,
 ///     truth_op: None,
 ///     truth_noise: false,
 /// };
@@ -181,6 +182,7 @@ mod tests {
             conn: ConnKey::default(),
             payload: vec![1, 2, 3],
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         }
@@ -305,6 +307,7 @@ mod degradation_tests {
                 .map(|s| render_rest_response_payload(s, "x", 8))
                 .unwrap_or_default(),
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         }
@@ -402,6 +405,7 @@ mod skew_tests {
             conn: ConnKey::default(),
             payload: vec![],
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         }
@@ -809,6 +813,7 @@ mod impairment_tests {
             conn: ConnKey::default(),
             payload: vec![],
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: false,
         }

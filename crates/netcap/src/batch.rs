@@ -24,7 +24,7 @@
 //! #     src_service: Service::Nova, dst_service: Service::Neutron, api: ApiId(1),
 //! #     direction: Direction::Request,
 //! #     wire: WireKind::Rest { method: HttpMethod::Get, uri: "/v2.1/servers".into(), status: None },
-//! #     conn: ConnKey::default(), payload: vec![], correlation_id: None, truth_op: None,
+//! #     conn: ConnKey::default(), payload: vec![], correlation_id: None, project: None, truth_op: None,
 //! #     truth_noise: false,
 //! # };
 //! let frames = vec![encode(&msg), encode(&msg), encode(&msg)];
@@ -178,6 +178,7 @@ mod tests {
                 conn: ConnKey::default(),
                 payload: format!("payload-{i}").into_bytes(),
                 correlation_id: None,
+                project: None,
                 truth_op: None,
                 truth_noise: false,
             })

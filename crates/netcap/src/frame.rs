@@ -13,12 +13,15 @@
 //! u16  magic (0x4752 "GR")
 //! u8   version (1)
 //! u8   flags: bit0 direction=response, bit1 is_rpc, bit2 has_truth_op,
-//!             bit3 truth_noise, bit4 has_correlation_id, bit5 has_seq
+//!             bit3 truth_noise, bit4 has_correlation_id, bit5 has_seq,
+//!             bit6 has_project
 //! u64  message id
 //! u64  timestamp (µs)
 //! u8   src node | u8 dst node | u8 src service | u8 dst service
 //! u16  api id
 //! u8×2 conn: src node, dst node   u16×2 conn: src port, dst port
+//! u32  project id (only when bit6 set; fixed offset 36 in the frame, so
+//!      shard routers can peek it without a full decode)
 //! -- REST (bit1 clear):
 //!   u8   method  | u16 status (0 = none) | u16 uri len | uri bytes
 //! -- RPC (bit1 set):
@@ -36,8 +39,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gretel_model::{
-    ApiId, ConnKey, Direction, HttpMethod, Message, MessageId, NodeId, OpInstanceId, Service,
-    WireKind,
+    ApiId, ConnKey, Direction, HttpMethod, Message, MessageId, NodeId, OpInstanceId, ProjectId,
+    Service, WireKind,
 };
 use std::fmt;
 
@@ -78,6 +81,11 @@ const FLAG_TRUTH_OP: u8 = 1 << 2;
 const FLAG_NOISE: u8 = 1 << 3;
 const FLAG_CORR_ID: u8 = 1 << 4;
 const FLAG_SEQ: u8 = 1 << 5;
+const FLAG_PROJECT: u8 = 1 << 6;
+
+/// Byte offset of the optional project id within a framed message (after
+/// the 4-byte length prefix and the 32-byte fixed header).
+const PROJECT_OFFSET: usize = 4 + 32;
 
 fn method_to_u8(m: HttpMethod) -> u8 {
     match m {
@@ -136,6 +144,9 @@ fn encode_inner(msg: &Message, seq: Option<u64>) -> Bytes {
     if seq.is_some() {
         flags |= FLAG_SEQ;
     }
+    if msg.project.is_some() {
+        flags |= FLAG_PROJECT;
+    }
     body.put_u16_le(MAGIC);
     body.put_u8(VERSION);
     body.put_u8(flags);
@@ -150,6 +161,9 @@ fn encode_inner(msg: &Message, seq: Option<u64>) -> Bytes {
     body.put_u8(msg.conn.dst.0);
     body.put_u16_le(msg.conn.src_port);
     body.put_u16_le(msg.conn.dst_port);
+    if let Some(p) = msg.project {
+        body.put_u32_le(p.0);
+    }
     match &msg.wire {
         WireKind::Rest { method, uri, status } => {
             body.put_u8(method_to_u8(*method));
@@ -255,6 +269,12 @@ fn decode_body(buf: &mut impl Buf) -> Result<(Message, Option<u64>), CodecError>
         src_port: buf.get_u16_le(),
         dst_port: buf.get_u16_le(),
     };
+    let project = if flags & FLAG_PROJECT != 0 {
+        need(buf, 4)?;
+        Some(ProjectId(buf.get_u32_le()))
+    } else {
+        None
+    };
     let wire = if flags & FLAG_RPC != 0 {
         need(buf, 8)?;
         let msg_id = buf.get_u64_le();
@@ -305,6 +325,7 @@ fn decode_body(buf: &mut impl Buf) -> Result<(Message, Option<u64>), CodecError>
         conn,
         payload,
         correlation_id,
+        project,
         truth_op,
         truth_noise: flags & FLAG_NOISE != 0,
     };
@@ -337,6 +358,36 @@ pub fn decode_one_seq(bytes: &[u8]) -> Result<(Message, Option<u64>), CodecError
     decode_body(&mut frame)
 }
 
+/// Read the tenant routing key from a framed message without decoding it.
+///
+/// The project id sits at a fixed offset in the frame (directly after the
+/// connection block), so a shard router can fan frames out of a
+/// [`crate::batch::FrameBatch`] with a 40-byte peek instead of a full
+/// decode. Returns `Ok(None)` for frames carrying no project scope. The
+/// header is validated exactly as [`decode_one`] would (magic, version,
+/// truncation), so a frame accepted here decodes to a [`Message`] whose
+/// `project` equals the peeked value.
+pub fn peek_project(frame: &[u8]) -> Result<Option<ProjectId>, CodecError> {
+    if frame.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    let magic = u16::from_le_bytes([frame[4], frame[5]]);
+    if magic != MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    if frame[6] != VERSION {
+        return Err(CodecError::BadVersion(frame[6]));
+    }
+    if frame[7] & FLAG_PROJECT == 0 {
+        return Ok(None);
+    }
+    if frame.len() < PROJECT_OFFSET + 4 {
+        return Err(CodecError::Truncated);
+    }
+    let raw: [u8; 4] = frame[PROJECT_OFFSET..PROJECT_OFFSET + 4].try_into().unwrap();
+    Ok(Some(ProjectId(u32::from_le_bytes(raw))))
+}
+
 /// Encoded size of a message, including the length prefix.
 pub fn encoded_len(msg: &Message) -> usize {
     encode(msg).len()
@@ -365,6 +416,7 @@ mod tests {
             conn: ConnKey { src: NodeId(2), src_port: 9696, dst: NodeId(1), dst_port: 33000 },
             payload: render_rest_response_payload(500, "Internal Server Error", 128),
             correlation_id: None,
+            project: None,
             truth_op: Some(OpInstanceId(7)),
             truth_noise: false,
         }
@@ -388,6 +440,7 @@ mod tests {
             conn: ConnKey { src: NodeId(4), src_port: 21000, dst: NodeId(0), dst_port: 5672 },
             payload: b"oslo".to_vec(),
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: true,
         }
@@ -498,6 +551,54 @@ mod tests {
     fn unsequenced_frames_decode_as_seq_none() {
         let m = sample_rpc();
         assert_eq!(decode_one_seq(&encode(&m)).unwrap(), (m, None));
+    }
+
+    #[test]
+    fn project_round_trips() {
+        let mut m = sample_rest();
+        m.project = Some(ProjectId(1234));
+        assert_eq!(decode_one(&encode(&m)).unwrap(), m);
+        let mut r = sample_rpc();
+        r.project = Some(ProjectId(u32::MAX));
+        assert_eq!(decode_one(&encode(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn peek_project_matches_decode() {
+        let mut m = sample_rest();
+        m.project = Some(ProjectId(77));
+        let framed = encode(&m);
+        assert_eq!(peek_project(&framed).unwrap(), Some(ProjectId(77)));
+        assert_eq!(decode_one(&framed).unwrap().project, Some(ProjectId(77)));
+        // Seq-stamped frames peek identically (the tail does not move the
+        // fixed header).
+        assert_eq!(peek_project(&encode_seq(&m, 3)).unwrap(), Some(ProjectId(77)));
+        // Frames without a project scope peek as None.
+        assert_eq!(peek_project(&encode(&sample_rpc())).unwrap(), None);
+    }
+
+    #[test]
+    fn peek_project_validates_the_header() {
+        let mut m = sample_rest();
+        m.project = Some(ProjectId(9));
+        let framed = encode(&m);
+        assert!(matches!(peek_project(&framed[..7]), Err(CodecError::Truncated)));
+        let mut bad = framed.to_vec();
+        bad[4] = 0xFF;
+        assert!(matches!(peek_project(&bad), Err(CodecError::BadMagic(_))));
+        let mut bad = framed.to_vec();
+        bad[6] = 42;
+        assert!(matches!(peek_project(&bad), Err(CodecError::BadVersion(42))));
+    }
+
+    #[test]
+    fn spurious_project_flag_is_rejected() {
+        // Corrupt a project-less frame by flipping the has_project bit: the
+        // decoder then mis-reads four wire-kind bytes as the project id and
+        // must fail rather than return a shifted message.
+        let mut bytes = encode(&sample_rest()).to_vec();
+        bytes[7] |= 1 << 6;
+        assert!(decode_one(&bytes).is_err());
     }
 
     #[test]

@@ -208,6 +208,7 @@ mod tests {
                 conn: ConnKey::default(),
                 payload: vec![i as u8; 10],
                 correlation_id: None,
+                project: None,
                 truth_op: None,
                 truth_noise: false,
             })

@@ -290,6 +290,18 @@ impl Histogram {
         edge.min(self.max.load(Relaxed))
     }
 
+    /// Fold another histogram's samples into this one: buckets and sums
+    /// add, the maximum is a max. Percentiles cannot be merged from
+    /// *summaries*, which is why cross-shard aggregation merges at the
+    /// bucket level and only then summarizes.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            mine.fetch_add(theirs.load(Relaxed), Relaxed);
+        }
+        self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        self.max.fetch_max(other.max.load(Relaxed), Relaxed);
+    }
+
     /// Summarize: count, sum, max and the p50/p95/p99 upper-edge
     /// estimates.
     pub fn summary(&self) -> LatencySummary {
@@ -420,6 +432,33 @@ impl PipelineMetrics {
     /// Current value of a meter.
     pub fn meter(&self, meter: Meter) -> u64 {
         self.meters[meter.idx()].get()
+    }
+
+    /// Fold another registry's recordings into this one (the cross-shard
+    /// aggregation of DESIGN.md §15: each pipeline shard owns a private
+    /// registry, and the driver merges them into one fleet view).
+    ///
+    /// Counters and histogram buckets add; high-water gauges take the
+    /// max across shards (the aggregate "deepest queue anywhere"). The
+    /// merge is bucket-level, so aggregated percentile summaries are as
+    /// faithful as if one registry had recorded every sample. Disabled
+    /// registries hold only zeros, so merging one is a no-op; the
+    /// *target's* enabled flag is left untouched.
+    pub fn merge_from(&self, other: &PipelineMetrics) {
+        for (mine, theirs) in self.stage_events.iter().zip(&other.stage_events) {
+            mine.add(theirs.get());
+        }
+        for (mine, theirs) in self.stage_latency.iter().zip(&other.stage_latency) {
+            mine.merge_from(theirs);
+        }
+        for (m, meter) in self.meters.iter().zip(Meter::ALL) {
+            let v = other.meter(meter);
+            if meter.is_gauge() {
+                m.record_max(v);
+            } else {
+                m.add(v);
+            }
+        }
     }
 
     /// A point-in-time copy of every counter, histogram summary and
@@ -802,6 +841,46 @@ mod tests {
         let b = PipelineMetrics::enabled();
         a.count(Stage::Commit, 1);
         assert!(!a.snapshot().deterministic_eq(&b.snapshot()));
+    }
+
+    #[test]
+    fn merged_registries_equal_one_registry_recording_everything() {
+        // Record a workload split across two "shard" registries and the
+        // same workload on one reference registry: bucket-level merging
+        // must make the aggregate snapshot identical (modulo gauges, which
+        // take the max).
+        let whole = PipelineMetrics::enabled();
+        let a = PipelineMetrics::enabled();
+        let b = PipelineMetrics::enabled();
+        for (i, shard) in [(0u64, &a), (1, &b), (2, &a), (3, &b), (4, &a)] {
+            for m in [shard, &whole] {
+                m.count(Stage::Ingest, 1);
+                m.observe(Stage::Detect, 10 * i + 1);
+                m.add(Meter::CaptureFrames, 2);
+            }
+        }
+        whole.record_max(Meter::JobQueueDepthMax, 9);
+        a.record_max(Meter::JobQueueDepthMax, 9);
+        b.record_max(Meter::JobQueueDepthMax, 3);
+
+        let agg = PipelineMetrics::enabled();
+        agg.merge_from(&a);
+        agg.merge_from(&b);
+        assert_eq!(agg.snapshot(), whole.snapshot());
+        // The percentile summary comes from merged buckets, not averaged
+        // summaries.
+        assert_eq!(agg.stage_latency(Stage::Detect), whole.stage_latency(Stage::Detect));
+    }
+
+    #[test]
+    fn merging_a_disabled_registry_adds_nothing() {
+        let agg = PipelineMetrics::enabled();
+        agg.count(Stage::Commit, 2);
+        let silent = PipelineMetrics::disabled();
+        silent.count(Stage::Commit, 50);
+        agg.merge_from(&silent);
+        assert_eq!(agg.stage_events(Stage::Commit), 2);
+        assert!(agg.is_enabled());
     }
 
     #[test]

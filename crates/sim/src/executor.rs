@@ -224,6 +224,7 @@ struct RunState {
     next_rpc_id: u64,
     remaining: usize,
     correlation_ids: bool,
+    projects: u32,
 }
 
 impl RunState {
@@ -234,6 +235,11 @@ impl RunState {
             // The deployment propagates one correlation id per operation.
             msg.correlation_id = msg.truth_op.map(|o| o.0);
         }
+        // Every call an operation makes is scoped to its tenant's Keystone
+        // token, so idempotent GET repeats of the op carry the project too;
+        // pure background traffic (heartbeats, token issuance) has none.
+        msg.project =
+            msg.truth_op.map(|o| ProjectId(o.0 as u32 % self.projects.max(1)));
         debug_assert!(
             self.out.messages.last().map(|m| m.ts_us <= msg.ts_us).unwrap_or(true),
             "messages must be emitted in time order"
@@ -285,6 +291,7 @@ impl<'a> Runner<'a> {
             next_rpc_id: 1,
             remaining: specs.len(),
             correlation_ids: self.config.correlation_ids,
+            projects: self.config.projects,
         };
         let mut insts: Vec<InstState> = (0..specs.len())
             .map(|i| InstState {
@@ -540,6 +547,7 @@ impl<'a> Runner<'a> {
                         step.request_bytes as usize,
                     ),
                     correlation_id: None,
+                    project: None,
                     truth_op: Some(inst_id),
                     truth_noise: false,
                 });
@@ -582,6 +590,7 @@ impl<'a> Runner<'a> {
                     conn,
                     payload: render_rpc_payload(method, msg_id, None, step.request_bytes as usize),
                     correlation_id: None,
+                    project: None,
                     truth_op: Some(inst_id),
                     truth_noise: false,
                 });
@@ -658,6 +667,7 @@ impl<'a> Runner<'a> {
                     conn: p.conn.reversed(),
                     payload: render_rest_response_payload(status, &reason, body),
                     correlation_id: None,
+                    project: None,
                     truth_op: Some(inst_id),
                     truth_noise: false,
                 });
@@ -695,6 +705,7 @@ impl<'a> Runner<'a> {
                     conn: p.conn.reversed(),
                     payload: render_rpc_payload(&method, msg_id, err_class.as_deref(), 128),
                     correlation_id: None,
+                    project: None,
                     truth_op: Some(inst_id),
                     truth_noise: false,
                 });
@@ -769,6 +780,7 @@ impl<'a> Runner<'a> {
             conn,
             payload: render_rest_request_payload(HttpMethod::Get, &concrete, 0),
             correlation_id: None,
+            project: None,
             truth_op: Some(inst_id),
             truth_noise: false,
         });
@@ -785,6 +797,7 @@ impl<'a> Runner<'a> {
             conn: conn.reversed(),
             payload: render_rest_response_payload(500, "Internal Server Error", 200),
             correlation_id: None,
+            project: None,
             truth_op: Some(inst_id),
             truth_noise: false,
         });
@@ -805,6 +818,7 @@ impl<'a> Runner<'a> {
             conn: p.conn,
             payload: render_rest_request_payload(method, &p.uri, 0),
             correlation_id: None,
+            project: None,
             truth_op: Some(inst_id),
             truth_noise: true,
         });
@@ -821,6 +835,7 @@ impl<'a> Runner<'a> {
             conn: p.conn.reversed(),
             payload: render_rest_response_payload(success_status(method), "OK", 256),
             correlation_id: None,
+            project: None,
             truth_op: Some(inst_id),
             truth_noise: true,
         });
@@ -860,6 +875,7 @@ impl<'a> Runner<'a> {
             conn,
             payload: render_rest_request_payload(HttpMethod::Post, "/v3/auth/tokens", 300),
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: true,
         });
@@ -880,6 +896,7 @@ impl<'a> Runner<'a> {
             conn: conn.reversed(),
             payload: render_rest_response_payload(201, "Created", 900),
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: true,
         });
@@ -917,6 +934,7 @@ impl<'a> Runner<'a> {
             },
             payload: render_rpc_payload("report_state", msg_id, None, 200),
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: true,
         });
@@ -959,6 +977,7 @@ impl<'a> Runner<'a> {
             },
             payload: render_rpc_payload("update_available_resource", msg_id, None, 600),
             correlation_id: None,
+            project: None,
             truth_op: None,
             truth_noise: true,
         });

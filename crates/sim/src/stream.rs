@@ -12,7 +12,7 @@ use gretel_model::message::{
 };
 use gretel_model::{
     ApiKind, Catalog, ConnKey, Direction, HttpMethod, Message, MessageId, NodeId, OpInstanceId,
-    OperationSpec, WireKind,
+    OperationSpec, ProjectId, WireKind,
 };
 use std::sync::Arc;
 
@@ -27,11 +27,37 @@ pub struct StreamConfig {
     pub pps: u64,
     /// Number of concurrently interleaved operation instances.
     pub concurrent_ops: usize,
+    /// Number of tenant projects; instance `i` is scoped to project
+    /// `i % projects`, stamped on every message the instance emits so the
+    /// sharded pipeline can route by tenant.
+    pub projects: u32,
+    /// Propagate one correlation id per operation instance (the paper's
+    /// §5.3.1 `correlation_id` deployment mode).
+    pub correlation_ids: bool,
+    /// When a fault lands on an instance, terminate that instance: its
+    /// cursor recycles onto a fresh instance instead of emitting the
+    /// remaining steps. Mirrors an operation aborting on error, and keeps
+    /// each instance's event history prefix-complete — a prerequisite for
+    /// diagnoses that are byte-identical across shard layouts.
+    pub abort_on_fault: bool,
+    /// Number of distinct nodes instances are spread over (`NodeId` is a
+    /// `u8`, so at most 250 here; the paper-scale "thousands of nodes" is
+    /// out of reach of this model and documented as such).
+    pub node_spread: u8,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { total_messages: 100_000, fault_every: 1_000, pps: 50_000, concurrent_ops: 64 }
+        StreamConfig {
+            total_messages: 100_000,
+            fault_every: 1_000,
+            pps: 50_000,
+            concurrent_ops: 64,
+            projects: 1,
+            correlation_ids: false,
+            abort_on_fault: false,
+            node_spread: 7,
+        }
     }
 }
 
@@ -60,6 +86,11 @@ impl<'a> SyntheticStream<'a> {
     pub fn new(catalog: Arc<Catalog>, specs: &'a [OperationSpec], cfg: StreamConfig) -> Self {
         assert!(!specs.is_empty(), "need at least one spec");
         assert!(cfg.concurrent_ops > 0, "need at least one concurrent op");
+        assert!(cfg.projects > 0, "need at least one project");
+        assert!(
+            (1..=250).contains(&cfg.node_spread),
+            "node_spread must be 1..=250 (NodeId is a u8)"
+        );
         let cursors = (0..cfg.concurrent_ops)
             .map(|i| Cursor {
                 spec_idx: i % specs.len(),
@@ -124,8 +155,11 @@ impl Iterator for SyntheticStream<'_> {
         let step = &spec.steps[cur.step];
         let def = self.catalog.get(step.api);
         let inst = OpInstanceId(cur.inst);
-        let src_node = NodeId((cur.inst % 7) as u8);
-        let dst_node = NodeId(((cur.inst + 1) % 7) as u8);
+        let project = Some(ProjectId(cur.inst as u32 % self.cfg.projects));
+        let correlation_id = self.cfg.correlation_ids.then_some(cur.inst);
+        let spread = self.cfg.node_spread as u64;
+        let src_node = NodeId((cur.inst % spread) as u8);
+        let dst_node = NodeId(((cur.inst + 1) % spread) as u8);
         let conn = ConnKey {
             src: src_node,
             src_port: 10_000 + (cur.inst % 30_000) as u16,
@@ -149,7 +183,8 @@ impl Iterator for SyntheticStream<'_> {
                         wire: WireKind::Rest { method: *method, uri: uri.clone(), status: None },
                         conn,
                         payload: render_rest_request_payload(*method, uri, 128),
-                        correlation_id: None,
+                        correlation_id,
+                        project,
                         truth_op: Some(inst),
                         truth_noise: false,
                     }
@@ -157,6 +192,12 @@ impl Iterator for SyntheticStream<'_> {
                     cur.awaiting_response = false;
                     cur.step += 1;
                     let status = if std::mem::take(&mut self.pending_fault) {
+                        if self.cfg.abort_on_fault {
+                            // The operation dies with the error: drop its
+                            // remaining steps so the cursor recycles onto a
+                            // fresh instance next turn.
+                            cur.step = spec.steps.len();
+                        }
                         500
                     } else {
                         ok_status(*method)
@@ -173,7 +214,8 @@ impl Iterator for SyntheticStream<'_> {
                         wire: WireKind::Rest { method: *method, uri: uri.clone(), status: Some(status) },
                         conn: conn.reversed(),
                         payload: render_rest_response_payload(status, reason_phrase(status), 512),
-                        correlation_id: None,
+                        correlation_id,
+                        project,
                         truth_op: Some(inst),
                         truth_noise: false,
                     }
@@ -185,6 +227,9 @@ impl Iterator for SyntheticStream<'_> {
                 self.next_rpc += 1;
                 let error =
                     std::mem::take(&mut self.pending_fault).then(|| "RemoteError".to_string());
+                if error.is_some() && self.cfg.abort_on_fault {
+                    cur.step = spec.steps.len();
+                }
                 Message {
                     id,
                     ts_us: ts,
@@ -197,7 +242,8 @@ impl Iterator for SyntheticStream<'_> {
                     wire: WireKind::Rpc { method: method.clone(), msg_id, error: error.clone() },
                     conn,
                     payload: render_rpc_payload(method, msg_id, error.as_deref(), 256),
-                    correlation_id: None,
+                    correlation_id,
+                    project,
                     truth_op: Some(inst),
                     truth_noise: false,
                 }

@@ -26,6 +26,17 @@ trap 'rm -rf "$RECOVERY_STORE_DIR"' EXIT
 cargo run --release --offline -q -p gretel-bench --bin recovery -- \
   --smoke --store-dir "$RECOVERY_STORE_DIR"
 
+# Tenant-sharded soak smoke: multi-tenant traffic through 1/2/4/8
+# pipeline shards plus a FileStore-per-shard durable arm; asserts the
+# merged diagnosis stream is byte-identical to the unsharded analyzer at
+# every shard count and that peak RSS stays bounded (see EXPERIMENTS.md).
+# Does not clobber results/soak.json; journals live under a tmpdir
+# cleaned by the same EXIT trap as the recovery stores.
+SOAK_STORE_DIR="$(mktemp -d)"
+trap 'rm -rf "$RECOVERY_STORE_DIR" "$SOAK_STORE_DIR"' EXIT
+cargo run --release --offline -q -p gretel-bench --bin soak -- \
+  --smoke --store-dir "$SOAK_STORE_DIR"
+
 # Observability smoke: one §7.2 scenario with metrics off/disabled/enabled;
 # asserts identical diagnoses, deterministic snapshots, export round trips
 # and the instrumentation overhead gate (see EXPERIMENTS.md).

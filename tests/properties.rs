@@ -69,6 +69,7 @@ prop_compose! {
             conn: ConnKey { src: NodeId(src), src_port: sport, dst: NodeId(dst), dst_port: dport },
             payload,
             correlation_id: corr,
+            project: None,
             truth_op: truth_op.map(OpInstanceId),
             truth_noise,
         }
